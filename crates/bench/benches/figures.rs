@@ -1,0 +1,105 @@
+//! End-to-end experiment benchmarks: one bench per paper artefact,
+//! each running the (smoke-scale) pipeline slice that regenerates it.
+//! `cargo bench -p pq-bench --bench figures` therefore exercises the
+//! code behind every table and figure.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pq_sim::NetworkKind;
+use pq_study::{
+    ab_shares, anova_across_protocols, fig3_agreement, metric_correlation, population,
+    run_study, Environment, Funnel, Group, StimulusSet, StudyKind,
+};
+use pq_transport::Protocol;
+use pq_web::{catalogue, Website};
+
+fn small_stimuli() -> StimulusSet {
+    let sites: Vec<Website> = ["wikipedia.org", "gov.uk", "apache.org"]
+        .iter()
+        .map(|n| catalogue::site(n).expect("corpus"))
+        .collect();
+    StimulusSet::build(&sites, &NetworkKind::ALL, &Protocol::ALL, 3, 42)
+}
+
+fn bench_stimulus_production(c: &mut Criterion) {
+    // The Table-2-testbed + §3 video pipeline (the expensive stage).
+    let sites: Vec<Website> = vec![catalogue::site("wikipedia.org").expect("corpus")];
+    c.bench_function("stimuli_1site_4nets_5stacks_3runs", |b| {
+        b.iter(|| {
+            StimulusSet::build(&sites, &NetworkKind::ALL, &Protocol::ALL, 3, 7)
+                .iter()
+                .count()
+        })
+    });
+}
+
+fn bench_table3_funnel(c: &mut Criterion) {
+    c.bench_function("table3_funnel_microworker_rating", |b| {
+        b.iter(|| {
+            let pop = population(StudyKind::Rating, Group::MicroWorker, 3);
+            let records: Vec<_> = pop.iter().map(|s| s.conformance).collect();
+            Funnel::apply(&records).survivors()
+        })
+    });
+}
+
+fn bench_full_study_and_figures(c: &mut Criterion) {
+    let stimuli = small_stimuli();
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+
+    g.bench_function("study_all_groups", |b| {
+        b.iter(|| run_study(&stimuli, 9).ab.len())
+    });
+
+    let data = run_study(&stimuli, 9);
+    g.bench_function("fig3_agreement", |b| {
+        b.iter(|| fig3_agreement(&data.ratings, 0.99).len())
+    });
+    g.bench_function("fig4_shares", |b| {
+        b.iter(|| {
+            let mut n = 0;
+            for net in NetworkKind::ALL {
+                for pair in Protocol::AB_PAIRS {
+                    if ab_shares(&data.ab, net, pair, &[Group::MicroWorker]).is_some() {
+                        n += 1;
+                    }
+                }
+            }
+            n
+        })
+    });
+    g.bench_function("fig5_anova", |b| {
+        b.iter(|| {
+            anova_across_protocols(
+                &data.ratings,
+                Environment::Plane,
+                Some(NetworkKind::Mss),
+                &Protocol::ALL,
+                Group::MicroWorker,
+            )
+            .map(|r| r.p)
+        })
+    });
+    g.bench_function("fig6_correlations", |b| {
+        b.iter(|| {
+            metric_correlation(
+                &data.ratings,
+                &stimuli,
+                NetworkKind::Mss,
+                Protocol::Quic,
+                pq_metrics::Metric::Si,
+                Group::MicroWorker,
+                &[Environment::Plane],
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_stimulus_production,
+    bench_table3_funnel,
+    bench_full_study_and_figures
+);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Page-load benchmarks: how fast the testbed simulates one website
+//! visit, per protocol and network. (These measure *simulator*
+//! throughput; the simulated times are what the figure binaries
+//! report.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pq_sim::NetworkKind;
+use pq_transport::Protocol;
+use pq_web::{catalogue, load_page, LoadOptions};
+
+fn bench_pageload_protocols(c: &mut Criterion) {
+    let site = catalogue::site("wikipedia.org").expect("corpus site");
+    let net = NetworkKind::Dsl.config();
+    let opts = LoadOptions::default();
+    let mut g = c.benchmark_group("pageload_dsl_wikipedia");
+    for proto in Protocol::ALL {
+        g.bench_with_input(BenchmarkId::from_parameter(proto.label()), &proto, |b, &p| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                load_page(&site, &net, p, seed, &opts).metrics.plt_ms
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_pageload_networks(c: &mut Criterion) {
+    let site = catalogue::site("gov.uk").expect("corpus site");
+    let opts = LoadOptions::default();
+    let mut g = c.benchmark_group("pageload_quic_govuk");
+    g.sample_size(20);
+    for kind in NetworkKind::ALL {
+        let net = kind.config();
+        g.bench_with_input(BenchmarkId::from_parameter(kind.name()), &net, |b, net| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                load_page(&site, net, Protocol::Quic, seed, &opts).metrics.plt_ms
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_pageload_site_sizes(c: &mut Criterion) {
+    let opts = LoadOptions::default();
+    let net = NetworkKind::Lte.config();
+    let mut g = c.benchmark_group("pageload_lte_by_site");
+    g.sample_size(15);
+    for name in ["apache.org", "gov.uk", "etsy.com", "nytimes.com"] {
+        let site = catalogue::site(name).expect("corpus site");
+        g.bench_with_input(BenchmarkId::from_parameter(name), &site, |b, site| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                load_page(site, &net, Protocol::TcpPlus, seed, &opts).metrics.plt_ms
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_pageload_protocols,
+    bench_pageload_networks,
+    bench_pageload_site_sizes
+);
+criterion_main!(benches);

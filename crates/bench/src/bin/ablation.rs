@@ -1,0 +1,6 @@
+//! Design-choice ablations: conformance filtering value and session accounting.
+
+fn main() {
+    let e = pq_bench::run_experiment_from_env("ablation");
+    pq_bench::report::print_ablation(&e);
+}

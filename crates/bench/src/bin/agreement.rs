@@ -1,0 +1,6 @@
+//! Regenerates the section 4.2 agreement statistics (answer times, replays, demographics).
+
+fn main() {
+    let e = pq_bench::run_experiment_from_env("agreement");
+    pq_bench::report::print_agreement(&e);
+}

@@ -1,0 +1,102 @@
+//! Exports the raw study data as JSON — mirroring the paper's public
+//! data release (https://study.netray.io). Writes `study_data.json`
+//! in the working directory (or the path given as the first argument).
+//!
+//! ```sh
+//! PQ_SCALE=reduced cargo run --release -p pq-bench --bin export -- out.json
+//! ```
+
+use serde_json::json;
+
+fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "study_data.json".into());
+    let e = pq_bench::run_experiment_from_env("export");
+
+    let ab: Vec<_> = e
+        .data
+        .ab
+        .iter()
+        .map(|v| {
+            json!({
+                "group": v.group.name(),
+                "participant": v.participant,
+                "site": e.stimuli.site_names[v.site as usize],
+                "network": v.network.name(),
+                "pair": [v.pair.0.label(), v.pair.1.label()],
+                "choice": match v.choice {
+                    pq_study::AbChoice::First => "first",
+                    pq_study::AbChoice::NoDifference => "no_difference",
+                    pq_study::AbChoice::Second => "second",
+                },
+                "confidence": v.confidence,
+                "replays": v.replays,
+                "valid": v.valid,
+            })
+        })
+        .collect();
+
+    let ratings: Vec<_> = e
+        .data
+        .ratings
+        .iter()
+        .map(|v| {
+            json!({
+                "group": v.group.name(),
+                "participant": v.participant,
+                "site": e.stimuli.site_names[v.site as usize],
+                "network": v.network.name(),
+                "protocol": v.protocol.label(),
+                "environment": v.environment.name(),
+                "speed": v.speed,
+                "quality": v.quality,
+                "valid": v.valid,
+            })
+        })
+        .collect();
+
+    let stimuli: Vec<_> = e
+        .stimuli
+        .iter()
+        .map(|s| {
+            json!({
+                "site": e.stimuli.site_names[s.condition.site as usize],
+                "network": s.condition.network.name(),
+                "protocol": s.condition.protocol.label(),
+                "runs": s.runs,
+                "fvc_ms": s.metrics.fvc_ms,
+                "si_ms": s.metrics.si_ms,
+                "vc85_ms": s.metrics.vc85_ms,
+                "lvc_ms": s.metrics.lvc_ms,
+                "plt_ms": s.metrics.plt_ms,
+                "mean_plt_ms": s.mean_plt_ms,
+                "mean_retransmits": s.mean_retransmits,
+            })
+        })
+        .collect();
+
+    let funnel = |f: &pq_study::Funnel| json!({"recruited": f.recruited, "after": f.after});
+    let doc = json!({
+        "paper": "Perceiving QUIC: Do Users Notice or Even Care? (CoNEXT 2019)",
+        "generator": "perceiving-quic reproduction",
+        "scale": e.scale.label(),
+        "seed": e.seed,
+        "funnels": {
+            "ab": e.data.funnel_ab.iter().map(funnel).collect::<Vec<_>>(),
+            "rating": e.data.funnel_rating.iter().map(funnel).collect::<Vec<_>>(),
+        },
+        "stimuli": stimuli,
+        "ab_votes": ab,
+        "rating_votes": ratings,
+    });
+
+    std::fs::write(&path, serde_json::to_string_pretty(&doc).expect("serializable"))
+        .expect("write output file");
+    eprintln!(
+        "[export] wrote {path}: {} A/B votes, {} ratings, {} stimuli",
+        e.data.ab.len(),
+        e.data.ratings.len(),
+        e.stimuli.iter().count()
+    );
+}

@@ -1,0 +1,6 @@
+//! Regenerates Figure 3 (rating agreement across subject groups).
+
+fn main() {
+    let e = pq_bench::run_experiment_from_env("fig3");
+    pq_bench::report::print_fig3(&e);
+}

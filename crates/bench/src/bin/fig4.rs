@@ -1,0 +1,6 @@
+//! Regenerates Figure 4 (A/B study vote shares per pair and network).
+
+fn main() {
+    let e = pq_bench::run_experiment_from_env("fig4");
+    pq_bench::report::print_fig4(&e);
+}

@@ -1,0 +1,6 @@
+//! Regenerates Figure 5 (rating means, CIs and ANOVA significance).
+
+fn main() {
+    let e = pq_bench::run_experiment_from_env("fig5");
+    pq_bench::report::print_fig5(&e);
+}

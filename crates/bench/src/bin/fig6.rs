@@ -1,0 +1,6 @@
+//! Regenerates Figure 6 (Pearson metric-vote correlation heatmap).
+
+fn main() {
+    let e = pq_bench::run_experiment_from_env("fig6");
+    pq_bench::report::print_fig6(&e);
+}

@@ -1,0 +1,15 @@
+//! Runs every table and figure regenerator in paper order, sharing a
+//! single experiment execution.
+
+fn main() {
+    pq_bench::report::print_table1();
+    pq_bench::report::print_table2();
+    let e = pq_bench::run_experiment_from_env("runall");
+    pq_bench::report::print_table3(&e);
+    pq_bench::report::print_fig3(&e);
+    pq_bench::report::print_fig4(&e);
+    pq_bench::report::print_fig5(&e);
+    pq_bench::report::print_fig6(&e);
+    pq_bench::report::print_agreement(&e);
+    pq_bench::report::print_ablation(&e);
+}

@@ -1,0 +1,5 @@
+//! Regenerates Table 1 (protocol configurations).
+
+fn main() {
+    pq_bench::report::print_table1();
+}

@@ -1,0 +1,5 @@
+//! Regenerates Table 2 (network configurations) and validates the emulation against it.
+
+fn main() {
+    pq_bench::report::print_table2();
+}

@@ -1,0 +1,6 @@
+//! Regenerates Table 3 (participation and conformance-filter funnel).
+
+fn main() {
+    let e = pq_bench::run_experiment_from_env("table3");
+    pq_bench::report::print_table3(&e);
+}

@@ -1,0 +1,173 @@
+//! # pq-bench — the experiment harness
+//!
+//! One binary per table/figure of the paper (run with
+//! `cargo run --release -p pq-bench --bin <name>`):
+//!
+//! | Binary | Artefact |
+//! |--------|----------|
+//! | `table1` | Table 1 — protocol configurations |
+//! | `table2` | Table 2 — network configurations + emulation validation |
+//! | `table3` | Table 3 — participation / conformance-filter funnel |
+//! | `fig3`   | Figure 3 — rating agreement across subject groups |
+//! | `fig4`   | Figure 4 — A/B vote shares per pair × network |
+//! | `fig5`   | Figure 5 — rating means + CIs, ANOVA significance |
+//! | `fig6`   | Figure 6 — metric ↔ vote Pearson heatmap |
+//! | `agreement` | §4.2 — answer times, replays, demographics |
+//! | `ablation`  | extra — filtering, 0-RTT and processing ablations |
+//! | `sweep`     | extra — bandwidth × loss × RTT map of the QUIC/TCP+ SI ratio |
+//! | `export`    | raw study data as JSON (mirrors the paper's data release) |
+//! | `runall` | everything above, in order |
+//!
+//! The experiment scale is controlled with `PQ_SCALE`
+//! (`smoke` / `reduced` / `full`) and `PQ_SEED`; `full` matches the
+//! paper (36 sites × 4 networks × 5 stacks × 31 runs).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod report;
+
+use pq_sim::NetworkKind;
+use pq_study::{run_study, StimulusSet, StudyData};
+use pq_transport::Protocol;
+use pq_web::{catalogue, Website};
+
+/// How much of the full condition space to simulate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// 4 sites × 3 runs — seconds; CI smoke tests.
+    Smoke,
+    /// 12 sites × 11 runs — a coffee break.
+    Reduced,
+    /// 36 sites × 31 runs — the paper's full design.
+    Full,
+}
+
+impl Scale {
+    /// Read from `PQ_SCALE` (default `reduced`).
+    pub fn from_env() -> Scale {
+        match std::env::var("PQ_SCALE").as_deref() {
+            Ok("smoke") => Scale::Smoke,
+            Ok("full") => Scale::Full,
+            _ => Scale::Reduced,
+        }
+    }
+
+    /// (sites, runs per condition).
+    pub fn params(self) -> (usize, u32) {
+        match self {
+            Scale::Smoke => (4, 3),
+            Scale::Reduced => (12, 11),
+            Scale::Full => (36, 31),
+        }
+    }
+
+    /// Human label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Scale::Smoke => "smoke",
+            Scale::Reduced => "reduced",
+            Scale::Full => "full",
+        }
+    }
+}
+
+/// Study seed from `PQ_SEED` (default 1910, the paper's arXiv month).
+pub fn seed_from_env() -> u64 {
+    std::env::var("PQ_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1910)
+}
+
+/// The corpus subset for a scale: always includes the five lab sites
+/// and the §4.4 named sites first.
+pub fn sites_for(scale: Scale) -> Vec<Website> {
+    let (n, _) = scale.params();
+    catalogue::corpus().into_iter().take(n.max(4)).collect()
+}
+
+/// A fully executed experiment: stimuli plus both studies' raw data.
+pub struct Experiment {
+    /// Which scale was run.
+    pub scale: Scale,
+    /// Study seed.
+    pub seed: u64,
+    /// Typical videos per condition.
+    pub stimuli: StimulusSet,
+    /// Raw votes, funnels and sessions.
+    pub data: StudyData,
+}
+
+/// Run the full pipeline (stimulus production + both studies).
+pub fn run_experiment(scale: Scale, seed: u64) -> Experiment {
+    let sites = sites_for(scale);
+    let (_, runs) = scale.params();
+    let stimuli = StimulusSet::build(&sites, &NetworkKind::ALL, &Protocol::ALL, runs, seed);
+    let data = run_study(&stimuli, seed);
+    Experiment {
+        scale,
+        seed,
+        stimuli,
+        data,
+    }
+}
+
+/// Run with environment-controlled scale/seed, echoing the setup.
+pub fn run_experiment_from_env(header: &str) -> Experiment {
+    let scale = Scale::from_env();
+    let seed = seed_from_env();
+    let (sites, runs) = scale.params();
+    eprintln!(
+        "[{header}] scale={} ({sites} sites × 4 networks × 5 stacks × {runs} runs), seed={seed}",
+        scale.label()
+    );
+    let t0 = std::time::Instant::now();
+    let e = run_experiment(scale, seed);
+    eprintln!("[{header}] pipeline done in {:.1?}", t0.elapsed());
+    e
+}
+
+/// Pretty vote-share bar for terminal tables.
+pub fn share_bar(share: f64, width: usize) -> String {
+    let filled = (share * width as f64).round() as usize;
+    let mut s = String::new();
+    for i in 0..width {
+        s.push(if i < filled { '#' } else { '.' });
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_params() {
+        assert_eq!(Scale::Smoke.params(), (4, 3));
+        assert_eq!(Scale::Full.params(), (36, 31));
+        assert_eq!(Scale::Full.label(), "full");
+    }
+
+    #[test]
+    fn sites_include_lab_domains_at_every_scale() {
+        let sites = sites_for(Scale::Smoke);
+        assert!(sites.iter().any(|s| s.name == "wikipedia.org"));
+        assert_eq!(sites_for(Scale::Full).len(), 36);
+    }
+
+    #[test]
+    fn smoke_experiment_runs() {
+        let e = run_experiment(Scale::Smoke, 5);
+        assert!(!e.data.ab.is_empty());
+        assert!(!e.data.ratings.is_empty());
+        assert_eq!(e.stimuli.site_count(), 4);
+    }
+
+    #[test]
+    fn share_bar_renders() {
+        assert_eq!(share_bar(0.5, 10), "#####.....");
+        assert_eq!(share_bar(0.0, 4), "....");
+        assert_eq!(share_bar(1.0, 4), "####");
+    }
+}

@@ -1,0 +1,498 @@
+//! Report printers: each function regenerates one table/figure of the
+//! paper as a terminal table (and is reused by the `runall` binary).
+
+use crate::{share_bar, Experiment};
+use pq_metrics::Metric;
+use pq_sim::{Link, LinkConfig, NetworkKind, Packet, PushOutcome, SimRng, SimTime};
+use pq_study::{
+    ab_shares, anova_across_protocols, fig3_agreement, metric_correlation, per_site_differences,
+    Environment, Group, StudyKind,
+};
+use pq_transport::Protocol;
+
+/// Table 1: the protocol configurations under test.
+pub fn print_table1() {
+    println!("== Table 1: protocol configurations ==");
+    println!(
+        "{:<10} {:<9} {:<4} {:<7} {:<14} {:<12} {}",
+        "Protocol", "CC", "IW", "Pacing", "TunedBuffers", "IdleRestart", "SACK blocks/ACK"
+    );
+    let net = NetworkKind::Dsl.config();
+    for p in Protocol::ALL {
+        let c = p.config(&net);
+        println!(
+            "{:<10} {:<9} {:<4} {:<7} {:<14} {:<12} {}",
+            p.label(),
+            c.cc.name(),
+            c.initial_window_segments,
+            if c.pacing { "yes" } else { "no" },
+            if c.recv_buffer_bytes > 128 * 1024 {
+                "2xBDP"
+            } else {
+                "stock"
+            },
+            if c.slow_start_after_idle { "IW-reset" } else { "keep" },
+            c.max_sack_blocks,
+        );
+    }
+    println!();
+}
+
+/// Table 2: network configurations, validated against the emulation
+/// (measured rate, base RTT and loss on the actual link model).
+pub fn print_table2() {
+    println!("== Table 2: network configurations (spec | measured) ==");
+    println!(
+        "{:<7} {:>9} {:>10} {:>9} {:>7} | {:>11} {:>9} {:>8}",
+        "Network", "Up[Mbps]", "Down[Mbps]", "RTT[ms]", "Loss", "meas.Down", "meas.RTT", "meas.Loss"
+    );
+    for kind in NetworkKind::ALL {
+        let cfg = kind.config();
+        let (down_mbps, rtt_ms, loss) = measure_network(&cfg.downlink(), &cfg.uplink());
+        println!(
+            "{:<7} {:>9.3} {:>10.3} {:>9} {:>6.1}% | {:>11.3} {:>9.1} {:>7.1}%",
+            kind.name(),
+            cfg.up_bps as f64 / 1e6,
+            cfg.down_bps as f64 / 1e6,
+            cfg.min_rtt.as_millis_f64(),
+            cfg.loss * 100.0,
+            down_mbps,
+            rtt_ms,
+            loss * 100.0,
+        );
+    }
+    println!("(queue budget: 200 ms at line rate, DSL 12 ms; loss per direction)");
+    println!();
+}
+
+/// Saturate the downlink to measure rate and loss; ping once for RTT.
+fn measure_network(down: &LinkConfig, up: &LinkConfig) -> (f64, f64, f64) {
+    let mut link: Link<u32> = Link::new(down.clone(), SimRng::new(2));
+    let mut now = SimTime::ZERO;
+    let mut next = match link.push(now, Packet::new(pq_sim::ConnId(0), 1500, 0)) {
+        PushOutcome::StartedTx(t) => t,
+        _ => unreachable!(),
+    };
+    let horizon = SimTime::from_secs(30);
+    let mut delivered_bytes = 0u64;
+    let mut first_arrival = None;
+    while next <= horizon {
+        now = next;
+        while link.queued_bytes() < 6000 {
+            link.push(now, Packet::new(pq_sim::ConnId(0), 1500, 0));
+        }
+        let txd = link.on_tx_done(now);
+        if let Some((at, p)) = txd.delivery {
+            delivered_bytes += u64::from(p.size);
+            first_arrival.get_or_insert(at);
+        }
+        next = txd.next_tx_done.expect("kept busy");
+    }
+    let secs = now.as_secs_f64();
+    let mbps = delivered_bytes as f64 * 8.0 / secs / 1e6;
+    let stats = link.stats();
+    let loss = stats.lost as f64 / (stats.lost + stats.delivered) as f64;
+    // RTT: one-way delays of both directions plus two serializations
+    // of a tiny probe.
+    let rtt = up.prop_delay
+        + down.prop_delay
+        + up.serialization_delay(60)
+        + down.serialization_delay(60);
+    (mbps, rtt.as_millis_f64(), loss)
+}
+
+/// Table 3: participation and the conformance-filter funnel.
+pub fn print_table3(e: &Experiment) {
+    println!("== Table 3: participation after each filter rule ==");
+    println!(
+        "{:<9} {:<7} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6}",
+        "Group", "Study", "-", "R1", "R2", "R3", "R4", "R5", "R6", "R7"
+    );
+    let paper_ab = [[35; 8], [487, 471, 441, 355, 268, 268, 239, 233], [218, 217, 210, 196, 171, 170, 159, 155]];
+    let paper_rate = [[35; 8], [1563, 1494, 1321, 1034, 733, 723, 661, 614], [209, 204, 194, 172, 152, 151, 140, 138]];
+    for (gi, group) in Group::ALL.into_iter().enumerate() {
+        for (study, funnel, paper) in [
+            ("A/B", &e.data.funnel_ab[gi], &paper_ab[gi]),
+            ("Rating", &e.data.funnel_rating[gi], &paper_rate[gi]),
+        ] {
+            print!("{:<9} {:<7} {:>6}", group.name(), study, funnel.recruited);
+            for a in funnel.after {
+                print!(" {a:>6}");
+            }
+            println!();
+            print!("{:<9} {:<7}", "  paper:", "");
+            for p in paper {
+                print!(" {p:>6}");
+            }
+            println!();
+        }
+    }
+    println!();
+}
+
+/// Figure 3: rating-study agreement between groups per condition.
+pub fn print_fig3(e: &Experiment) {
+    println!("== Figure 3: rating agreement across subject groups ==");
+    let rows = fig3_agreement(&e.data.ratings, 0.99);
+    if rows.is_empty() {
+        println!("(no shared conditions — increase the scale)");
+        return;
+    }
+    let agree = rows.iter().filter(|r| r.micro_agrees()).count();
+    println!(
+        "conditions: {}   µWorker means inside lab 99% CI: {}/{} ({:.0}%)",
+        rows.len(),
+        agree,
+        rows.len(),
+        100.0 * agree as f64 / rows.len() as f64
+    );
+    let dev: Vec<f64> = rows.iter().filter_map(|r| r.internet_deviation()).collect();
+    let micro_dev: Vec<f64> = rows.iter().map(|r| (r.micro.mean - r.lab.mean).abs()).collect();
+    if !dev.is_empty() {
+        println!(
+            "mean |deviation from lab mean|: µWorker {:.1}, Internet(median) {:.1}  → the Internet group deviates most and is excluded (as in §4.2)",
+            pq_stats::mean(&micro_dev),
+            pq_stats::mean(&dev),
+        );
+    }
+    println!("{:<26} {:>9} {:>16} {:>9} {:>9}", "condition (site/net/proto)", "lab mean", "lab 99% CI", "µWorker", "Internet");
+    let step = (rows.len() / 12).max(1);
+    for r in rows.iter().step_by(step) {
+        println!(
+            "{:<26} {:>9.1} [{:>6.1},{:>6.1}] {:>9.1} {:>9}",
+            format!(
+                "{}/{}/{}",
+                e.stimuli.site_names[r.site as usize]
+                    .trim_end_matches(".com")
+                    .trim_end_matches(".org"),
+                r.network.name(),
+                r.protocol.label()
+            ),
+            r.lab.mean,
+            r.lab.lo(),
+            r.lab.hi(),
+            r.micro.mean,
+            r.internet_median
+                .map(|m| format!("{m:.1}"))
+                .unwrap_or_else(|| "-".into()),
+        );
+    }
+    println!();
+}
+
+/// Figure 4: A/B vote shares per protocol pair and network.
+pub fn print_fig4(e: &Experiment) {
+    println!("== Figure 4: A/B study vote shares (valid lab+µWorker votes) ==");
+    let groups = [Group::Lab, Group::MicroWorker];
+    for network in NetworkKind::ALL {
+        println!("--- {} ---", network.name());
+        for pair in Protocol::AB_PAIRS {
+            if let Some(s) = ab_shares(&e.data.ab, network, pair, &groups) {
+                println!(
+                    "{:>9} vs {:<9} {}|{}|{}  {:>4.0}% / {:>4.0}% / {:>4.0}%  (n={}, avg replays {:.2})",
+                    pair.0.label(),
+                    pair.1.label(),
+                    share_bar(s.first, 10),
+                    share_bar(s.no_diff, 10),
+                    share_bar(s.second, 10),
+                    s.first * 100.0,
+                    s.no_diff * 100.0,
+                    s.second * 100.0,
+                    s.n,
+                    s.avg_replays,
+                );
+            }
+        }
+    }
+    println!("(bars: prefer-first | no difference | prefer-second)");
+    println!();
+}
+
+/// Figure 5: rating means + 99 % CI per protocol × setting, plus the
+/// §4.4 ANOVA significance screening.
+pub fn print_fig5(e: &Experiment) {
+    println!("== Figure 5: rating study mean votes (µWorker, 99% CI) ==");
+    let cells: [(Environment, Option<NetworkKind>); 6] = [
+        (Environment::Work, Some(NetworkKind::Dsl)),
+        (Environment::Work, Some(NetworkKind::Lte)),
+        (Environment::FreeTime, Some(NetworkKind::Dsl)),
+        (Environment::FreeTime, Some(NetworkKind::Lte)),
+        (Environment::Plane, Some(NetworkKind::Da2gc)),
+        (Environment::Plane, Some(NetworkKind::Mss)),
+    ];
+    print!("{:<22}", "setting");
+    for p in Protocol::ALL {
+        print!(" {:>16}", p.label());
+    }
+    println!();
+    for (env, net) in cells {
+        print!("{:<22}", format!("{} / {}", env.name(), net.unwrap().name()));
+        for p in Protocol::ALL {
+            match pq_study::rating_interval(&e.data.ratings, env, net, p, Group::MicroWorker, 0.99)
+            {
+                Some(ci) => print!(" {:>8.1} ±{:>5.1} ", ci.mean, ci.half_width),
+                None => print!(" {:>16}", "-"),
+            }
+        }
+        println!();
+    }
+
+    println!("\nANOVA across the five protocols per setting:");
+    for (env, net) in cells {
+        if let Some(r) =
+            anova_across_protocols(&e.data.ratings, env, net, &Protocol::ALL, Group::MicroWorker)
+        {
+            println!(
+                "  {:<22} F={:<6.2} p={:<8.4} significant: 99% {} / 90% {}",
+                format!("{} / {}", env.name(), net.unwrap().name()),
+                r.f,
+                r.p,
+                if r.significant_at(0.99) { "YES" } else { "no" },
+                if r.significant_at(0.90) { "YES" } else { "no" },
+            );
+        }
+    }
+
+    println!("\n§4.4 'Where it makes a difference' (per-site pairwise, 90% level):");
+    let pairs: Vec<(Protocol, Protocol)> = vec![
+        (Protocol::Quic, Protocol::Tcp),
+        (Protocol::Quic, Protocol::TcpPlus),
+        (Protocol::QuicBbr, Protocol::TcpPlusBbr),
+        (Protocol::TcpPlus, Protocol::Tcp),
+    ];
+    for network in NetworkKind::ALL {
+        let diffs = per_site_differences(
+            &e.data.ratings,
+            network,
+            &pairs,
+            Group::MicroWorker,
+            0.90,
+            e.stimuli.site_count(),
+        );
+        println!("  {}: {} significant site×pair differences", network.name(), diffs.len());
+        for d in diffs.iter().take(6) {
+            println!(
+                "     {:<18} {} > {} by {:.1} points (p={:.3})",
+                e.stimuli.site_names[d.site as usize],
+                d.better.label(),
+                d.worse.label(),
+                d.diff,
+                d.p
+            );
+        }
+    }
+    println!();
+}
+
+/// Figure 6: Pearson correlation heatmap (metric ↔ mean votes).
+pub fn print_fig6(e: &Experiment) {
+    println!("== Figure 6: Pearson r, technical metric vs mean vote (µWorker) ==");
+    println!("(DSL/LTE use free-time votes, as in the paper)");
+    for protocol in Protocol::ALL {
+        println!("--- {} ---", protocol.label());
+        print!("{:<6}", "");
+        for n in NetworkKind::ALL {
+            print!(" {:>7}", n.name());
+        }
+        println!();
+        for metric in Metric::ALL {
+            print!("{:<6}", metric.name());
+            for network in NetworkKind::ALL {
+                let envs: &[Environment] = if network.is_inflight() {
+                    &[Environment::Plane]
+                } else {
+                    &[Environment::FreeTime]
+                };
+                let r = metric_correlation(
+                    &e.data.ratings,
+                    &e.stimuli,
+                    network,
+                    protocol,
+                    metric,
+                    Group::MicroWorker,
+                    envs,
+                );
+                match r {
+                    Some(r) => print!(" {r:>7.2}"),
+                    None => print!(" {:>7}", "-"),
+                }
+            }
+            println!();
+        }
+    }
+    println!("(−1.0 = metric explains votes perfectly; SI should win, PLT should trail)");
+    println!();
+}
+
+/// §4.2: answer-time, replay and demographic statistics per group.
+pub fn print_agreement(e: &Experiment) {
+    println!("== §4.2: study agreement statistics ==");
+    println!("{:<9} {:>16} {:>19}", "Group", "A/B s/video", "Rating s/video");
+    let paper = [(17.69, 21.44), (14.46, 17.71), (15.59, 19.23)];
+    for group in Group::ALL {
+        let ab: Vec<f64> = e
+            .data
+            .sessions_ab
+            .iter()
+            .filter(|s| s.participant.group == group && s.valid())
+            .map(|s| s.secs_per_video)
+            .collect();
+        let rate: Vec<f64> = e
+            .data
+            .sessions_rating
+            .iter()
+            .filter(|s| s.participant.group == group && s.valid())
+            .map(|s| s.secs_per_video)
+            .collect();
+        println!(
+            "{:<9} {:>7.2} (p:{:>5.2}) {:>8.2} (p:{:>6.2})",
+            group.name(),
+            pq_stats::mean(&ab),
+            paper[group.idx()].0,
+            pq_stats::mean(&rate),
+            paper[group.idx()].1,
+        );
+    }
+
+    println!("\nreplays per A/B video (valid votes):");
+    for group in Group::ALL {
+        let mut by_net = Vec::new();
+        for network in NetworkKind::ALL {
+            let votes: Vec<f64> = e
+                .data
+                .ab
+                .iter()
+                .filter(|v| v.valid && v.group == group && v.network == network)
+                .map(|v| f64::from(v.replays))
+                .collect();
+            by_net.push(format!("{} {:.2}", network.name(), pq_stats::mean(&votes)));
+        }
+        println!("  {:<9} {}", group.name(), by_net.join("  "));
+    }
+
+    println!("\nA/B confidence (decided vs no-difference votes):");
+    for network in NetworkKind::ALL {
+        if let Some(cs) = pq_study::confidence_stats(&e.data.ab, network) {
+            println!(
+                "  {:<7} decided {:.2}  no-diff {:.2}  (n={})",
+                network.name(),
+                cs.decided,
+                cs.undecided,
+                cs.n
+            );
+        }
+    }
+
+    println!("\ndemographics (A/B study, all recruited):");
+    for group in Group::ALL {
+        let ps: Vec<_> = e
+            .data
+            .sessions_ab
+            .iter()
+            .filter(|s| s.participant.group == group)
+            .collect();
+        let male = ps.iter().filter(|s| s.participant.male).count() as f64 / ps.len() as f64;
+        let young = ps
+            .iter()
+            .filter(|s| s.participant.age == pq_study::AgeBracket::Under24)
+            .count() as f64
+            / ps.len() as f64;
+        let mid = ps
+            .iter()
+            .filter(|s| s.participant.age == pq_study::AgeBracket::From25To44)
+            .count() as f64
+            / ps.len() as f64;
+        println!(
+            "  {:<9} male {:.0}%  <24 {:.0}%  25-44 {:.0}%",
+            group.name(),
+            male * 100.0,
+            young * 100.0,
+            mid * 100.0
+        );
+    }
+    println!();
+}
+
+/// Extra ablations: what the conformance filter buys, and what each
+/// TCP+ tuning knob contributes (design-choice ablations from
+/// DESIGN.md).
+pub fn print_ablation(e: &Experiment) {
+    println!("== Ablation 1: conformance filtering (Fig. 4 cell, MSS, QUIC vs TCP) ==");
+    let pair = (Protocol::Quic, Protocol::Tcp);
+    let groups = [Group::MicroWorker];
+    if let Some(filtered) = ab_shares(&e.data.ab, NetworkKind::Mss, pair, &groups) {
+        // Recompute without the validity filter.
+        let all: Vec<_> = e
+            .data
+            .ab
+            .iter()
+            .filter(|v| v.network == NetworkKind::Mss && v.pair == pair && v.group == Group::MicroWorker)
+            .collect();
+        let n = all.len() as f64;
+        let first =
+            all.iter().filter(|v| v.choice == pq_study::AbChoice::First).count() as f64 / n;
+        println!(
+            "  QUIC-preferred share: filtered {:.0}% (n={}) vs unfiltered {:.0}% (n={})",
+            filtered.first * 100.0,
+            filtered.n,
+            first * 100.0,
+            all.len()
+        );
+        println!("  → cheating µWorkers dilute the signal; R1-R7 recover it.");
+    }
+
+    println!("\n== Ablation 2: session counts per study kind ==");
+    for (kind, sessions) in [
+        (StudyKind::AB, &e.data.sessions_ab),
+        (StudyKind::Rating, &e.data.sessions_rating),
+    ] {
+        let valid = sessions.iter().filter(|s| s.valid()).count();
+        println!("  {:?}: {} recruited, {} valid", kind, sessions.len(), valid);
+    }
+
+    println!("\n== Ablation 3: 0-RTT repeat visits (median FVC, wikipedia, ms) ==");
+    let site = pq_web::site("wikipedia.org").expect("corpus");
+    let med = |mut v: Vec<f64>| {
+        v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        v[v.len() / 2]
+    };
+    println!("  {:<8} {:>11} {:>11} {:>11} {:>11}", "network", "TCP+ fresh", "TCP+ 0RTT", "QUIC fresh", "QUIC 0RTT");
+    for kind in [NetworkKind::Dsl, NetworkKind::Lte] {
+        let net = kind.config();
+        let fvc = |proto: Protocol, zr: bool| {
+            let cfg = if zr { proto.config_zero_rtt(&net) } else { proto.config(&net) };
+            med((0..5)
+                .map(|s| {
+                    pq_web::load_page_with_config(&site, &net, &cfg, 600 + s, &Default::default())
+                        .metrics
+                        .fvc_ms
+                })
+                .collect())
+        };
+        println!(
+            "  {:<8} {:>11.0} {:>11.0} {:>11.0} {:>11.0}",
+            kind.name(),
+            fvc(Protocol::TcpPlus, false),
+            fvc(Protocol::TcpPlus, true),
+            fvc(Protocol::Quic, false),
+            fvc(Protocol::Quic, true),
+        );
+    }
+    println!("  (the repeat-visit scenario §3 discusses: both stacks gain ≈1 RTT)");
+
+    println!("\n== Ablation 4: client-side processing scale (QUIC DSL SI, ms) ==");
+    let net = NetworkKind::Dsl.config();
+    print!(" ");
+    for scale in [0.0, 0.5, 1.0, 2.0] {
+        let opts = pq_web::LoadOptions {
+            processing_scale: scale,
+            ..Default::default()
+        };
+        let si = med((0..5)
+            .map(|s| pq_web::load_page(&site, &net, Protocol::Quic, 700 + s, &opts).metrics.si_ms)
+            .collect());
+        print!(" scale {scale}: {si:>6.0}");
+    }
+    println!("\n  (0 = network-only loads; 1 = calibrated browser costs)");
+    println!();
+}

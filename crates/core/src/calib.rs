@@ -1,0 +1,152 @@
+//! Calibration constants of the simulated-participant layer.
+//!
+//! Everything in the reproduction that is *not* emergent from the
+//! network/protocol simulation is gathered here, with its provenance.
+//! Two kinds of constants exist:
+//!
+//! 1. **Psychometric model parameters** (Weber-fraction JNDs, log-time
+//!    MOS mapping, noise scales). These come from the QoE literature
+//!    the paper builds on (ITU-T P.851 scales, Weber–Fechner time
+//!    perception) and are tuned only coarsely so the *shapes* of
+//!    Figs. 3–6 emerge.
+//! 2. **Behavioural rates** (recruitment counts, per-rule violation
+//!    probabilities, per-video answer times). These are calibrated
+//!    directly against the paper's published numbers (Table 3, §4.2)
+//!    because they describe the paper's subject pool, not a model
+//!    prediction.
+
+/// Perception weights: how strongly each technical metric drives the
+/// perceived loading speed. SI dominates — consistent with the paper's
+/// own finding that SI correlates best with votes (§4.4, Fig. 6).
+pub const PERCEPT_W_SI: f64 = 0.75;
+/// First-visual-change weight in the percept blend.
+pub const PERCEPT_W_FVC: f64 = 0.15;
+/// Last-visual-change weight in the percept blend.
+pub const PERCEPT_W_LVC: f64 = 0.10;
+/// Per-user jitter (sd) applied to the perception weights.
+pub const PERCEPT_W_JITTER: f64 = 0.05;
+
+/// Just-noticeable-difference threshold on log-perceived speed: mean
+/// Weber fraction ≈ 7.5 % (time-perception literature).
+pub const JND_MEAN: f64 = 0.075;
+/// Per-user JND spread (sd).
+pub const JND_SD: f64 = 0.025;
+/// Floor so no user is infinitely sensitive.
+pub const JND_FLOOR: f64 = 0.02;
+
+/// Log-domain observation noise per viewing, by group
+/// (lab / µWorker / Internet). Lab viewing conditions are controlled;
+/// Internet users are the noisiest (and end up excluded, Fig. 3).
+pub const OBS_NOISE: [f64; 3] = [0.035, 0.05, 0.08];
+
+/// MOS mapping `vote = RATE_A − RATE_B · ln(SI seconds)` on the paper's
+/// 10–70 scale, before context/bias/noise terms.
+pub const RATE_A: f64 = 58.0;
+/// Slope of the log-SI MOS mapping.
+pub const RATE_B: f64 = 10.5;
+/// Context anchors added to the rating: at work / free time / plane.
+/// Free time is rated mildly better than work (§4.4: "a slight
+/// tendency towards better scores in the free time setting").
+pub const CONTEXT_SHIFT: [f64; 3] = [-1.5, 0.0, 3.0];
+/// Site-taste spread (sd): a per-site likability offset shared by all
+/// users. This is what caps the metric↔vote correlation in *fast*
+/// networks (Fig. 6's DSL column): when every load is quick, taste
+/// dominates speed.
+pub const SITE_TASTE_SD: f64 = 5.0;
+/// Per-user rating bias (sd).
+pub const USER_BIAS_SD: f64 = 5.0;
+/// Per-vote rating noise (sd) by group.
+pub const RATE_NOISE: [f64; 3] = [5.0, 8.0, 10.0];
+/// Fraction of Internet-group votes replaced by uniform garbage —
+/// the contamination that makes that group non-normal (§4.2 uses the
+/// median for Internet votes for exactly this reason).
+pub const INTERNET_GARBAGE_RATE: f64 = 0.12;
+
+/// Recruitment counts before filtering: (A/B, Rating) per group,
+/// straight from Table 3.
+pub const RECRUITED: [(u32, u32); 3] = [(35, 35), (487, 1563), (218, 209)];
+
+/// Sequential per-rule drop probabilities `[R1..R7]` per group and
+/// study, calibrated to reproduce Table 3's funnel.
+/// Lab participants are supervised: nothing is dropped.
+pub const DROP_AB: [[f64; 7]; 3] = [
+    [0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0],
+    // µWorker A/B: 487→471→441→355→268→268→239→233
+    [0.033, 0.064, 0.195, 0.245, 0.000, 0.108, 0.025],
+    // Internet A/B: 218→217→210→196→171→170→159→155
+    [0.005, 0.032, 0.067, 0.128, 0.006, 0.065, 0.025],
+];
+/// Rating-study drop probabilities (Table 3 lower half).
+pub const DROP_RATING: [[f64; 7]; 3] = [
+    [0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0],
+    // µWorker Rating: 1563→1494→1321→1034→733→723→661→614
+    [0.044, 0.116, 0.217, 0.291, 0.014, 0.086, 0.071],
+    // Internet Rating: 209→204→194→172→152→151→140→138
+    [0.024, 0.049, 0.113, 0.116, 0.007, 0.073, 0.014],
+];
+
+/// Mean seconds a participant spends per video: `(A/B, Rating)` per
+/// group (§4.2: lab 17.69/21.44, µWorker 14.46/17.71,
+/// Internet 15.59/19.23).
+pub const SECS_PER_VIDEO: [(f64, f64); 3] = [(17.69, 21.44), (14.46, 17.71), (15.59, 19.23)];
+
+/// Videos shown per participant in the A/B study (lab 28, µWorker 26,
+/// Internet 14 — §4.1).
+pub const AB_VIDEOS: [u32; 3] = [28, 26, 14];
+/// Rating-study videos per participant as (work, free time, plane).
+pub const RATING_VIDEOS: [(u32, u32, u32); 3] = [(11, 11, 5), (11, 11, 5), (6, 6, 3)];
+
+/// Share of male participants (§4.2: "76 % to 79 % were male").
+pub const MALE_SHARE: [f64; 3] = [0.78, 0.77, 0.76];
+
+/// Replay behaviour: base probability scale of replaying an A/B video
+/// whose difference sits near the JND, per group (lab participants
+/// replay the most, §4.2).
+pub const REPLAY_SCALE: [f64; 3] = [1.4, 1.0, 1.1];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percept_weights_sum_to_one() {
+        assert!((PERCEPT_W_SI + PERCEPT_W_FVC + PERCEPT_W_LVC - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn funnel_probabilities_reproduce_table3_expectations() {
+        // Expected survivors when applying the drop rates to the
+        // recruitment counts must land near the paper's numbers.
+        let check = |n0: u32, drops: &[f64; 7], expect: u32, tol: f64| {
+            let mut n = f64::from(n0);
+            for d in drops {
+                n *= 1.0 - d;
+            }
+            assert!(
+                (n - f64::from(expect)).abs() / f64::from(expect) < tol,
+                "expected ≈{expect}, model gives {n:.1}"
+            );
+        };
+        check(487, &DROP_AB[1], 233, 0.03);
+        check(218, &DROP_AB[2], 155, 0.03);
+        check(1563, &DROP_RATING[1], 614, 0.03);
+        check(209, &DROP_RATING[2], 138, 0.03);
+    }
+
+    #[test]
+    fn noise_orders_by_group() {
+        assert!(OBS_NOISE[0] < OBS_NOISE[1]);
+        assert!(OBS_NOISE[1] < OBS_NOISE[2]);
+        assert!(RATE_NOISE[0] < RATE_NOISE[1]);
+    }
+
+    #[test]
+    fn rating_anchors_reasonable() {
+        // A 1-second SI should rate near "excellent", a 60-second SI
+        // near "bad" (10–70 scale).
+        let fast = RATE_A - RATE_B * 1.0f64.ln();
+        let slow = RATE_A - RATE_B * 60.0f64.ln();
+        assert!((50.0..70.0).contains(&fast), "fast {fast}");
+        assert!((10.0..30.0).contains(&slow), "slow {slow}");
+    }
+}

@@ -1,0 +1,207 @@
+//! Stimulus production: the video corpus shown to participants.
+//!
+//! For every condition (website × network × protocol) the testbed
+//! loads the page ≥31 times and selects the recording closest to the
+//! mean PLT as the "typical" video (§3). A [`StimulusSet`] holds that
+//! typical video's metrics per condition — everything the perception
+//! model and the Figure 6 correlations consume.
+
+use pq_metrics::{typical_run, MetricSet};
+use pq_sim::{NetworkKind, SimRng};
+use pq_transport::Protocol;
+use pq_web::{load_page, LoadOptions, Website};
+use std::collections::HashMap;
+
+/// One experimental condition.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Condition {
+    /// Index into the stimulus set's site list.
+    pub site: u16,
+    /// Emulated network.
+    pub network: NetworkKind,
+    /// Protocol stack.
+    pub protocol: Protocol,
+}
+
+/// The typical recording of one condition plus aggregates over runs.
+#[derive(Clone, Debug)]
+pub struct Stimulus {
+    /// The condition this belongs to.
+    pub condition: Condition,
+    /// Technical metrics of the typical (closest-to-mean-PLT) run.
+    pub metrics: MetricSet,
+    /// Mean PLT across runs (ms).
+    pub mean_plt_ms: f64,
+    /// Number of runs behind the selection.
+    pub runs: u32,
+    /// Mean transport retransmissions per run (the §4.3 diagnostic).
+    pub mean_retransmits: f64,
+    /// Video duration in seconds (load + 1 s padding).
+    pub video_secs: f64,
+}
+
+/// All stimuli of a study.
+#[derive(Debug)]
+pub struct StimulusSet {
+    /// Site names, indexed by [`Condition::site`].
+    pub site_names: Vec<String>,
+    map: HashMap<Condition, Stimulus>,
+}
+
+impl StimulusSet {
+    /// Build stimuli for every combination, loading each condition
+    /// `runs` times (the paper uses ≥31).
+    pub fn build(
+        sites: &[Website],
+        networks: &[NetworkKind],
+        protocols: &[Protocol],
+        runs: u32,
+        seed: u64,
+    ) -> StimulusSet {
+        let rng = SimRng::new(seed);
+        let opts = LoadOptions::default();
+        let mut map = HashMap::new();
+        for (si, site) in sites.iter().enumerate() {
+            for &network in networks {
+                let net = network.config();
+                for &protocol in protocols {
+                    let cond = Condition {
+                        site: si as u16,
+                        network,
+                        protocol,
+                    };
+                    let mut all = Vec::with_capacity(runs as usize);
+                    let mut retx = 0u64;
+                    for r in 0..runs {
+                        let run_seed = rng
+                            .fork_idx(
+                                &format!("{}/{}/{}", site.name, network.name(), protocol.label()),
+                                u64::from(r),
+                            )
+                            .next_u64();
+                        let res = load_page(site, &net, protocol, run_seed, &opts);
+                        retx += res.retransmits;
+                        all.push(res.metrics);
+                    }
+                    let idx = typical_run(&all).expect("at least one run");
+                    let mean_plt =
+                        all.iter().map(|m| m.plt_ms).sum::<f64>() / all.len() as f64;
+                    let metrics = all[idx];
+                    map.insert(
+                        cond,
+                        Stimulus {
+                            condition: cond,
+                            metrics,
+                            mean_plt_ms: mean_plt,
+                            runs,
+                            mean_retransmits: retx as f64 / f64::from(runs),
+                            video_secs: metrics.plt_ms / 1000.0 + 1.0,
+                        },
+                    );
+                }
+            }
+        }
+        StimulusSet {
+            site_names: sites.iter().map(|s| s.name.clone()).collect(),
+            map,
+        }
+    }
+
+    /// Look up one condition's stimulus.
+    pub fn get(&self, site: u16, network: NetworkKind, protocol: Protocol) -> &Stimulus {
+        self.map
+            .get(&Condition {
+                site,
+                network,
+                protocol,
+            })
+            .expect("condition was built")
+    }
+
+    /// Number of sites.
+    pub fn site_count(&self) -> u16 {
+        self.site_names.len() as u16
+    }
+
+    /// All stimuli (arbitrary order).
+    pub fn iter(&self) -> impl Iterator<Item = &Stimulus> {
+        self.map.values()
+    }
+
+    /// The networks present in this set.
+    pub fn networks(&self) -> Vec<NetworkKind> {
+        let mut v: Vec<NetworkKind> = self.map.keys().map(|c| c.network).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// The protocols present in this set.
+    pub fn protocols(&self) -> Vec<Protocol> {
+        let mut v: Vec<Protocol> = self.map.keys().map(|c| c.protocol).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pq_web::catalogue;
+
+    #[test]
+    fn build_small_set() {
+        let sites: Vec<Website> = ["apache.org", "wikipedia.org"]
+            .iter()
+            .map(|n| catalogue::site(n).unwrap())
+            .collect();
+        let set = StimulusSet::build(
+            &sites,
+            &[NetworkKind::Dsl, NetworkKind::Lte],
+            &[Protocol::Tcp, Protocol::Quic],
+            3,
+            42,
+        );
+        assert_eq!(set.site_count(), 2);
+        assert_eq!(set.iter().count(), 2 * 2 * 2);
+        let s = set.get(0, NetworkKind::Dsl, Protocol::Quic);
+        assert!(s.metrics.plt_ms > 0.0);
+        assert!(s.metrics.well_ordered());
+        assert_eq!(s.runs, 3);
+        assert!(s.video_secs > 1.0);
+        assert_eq!(set.networks().len(), 2);
+        assert_eq!(set.protocols().len(), 2);
+    }
+
+    #[test]
+    fn deterministic_build() {
+        let sites = vec![catalogue::site("apache.org").unwrap()];
+        let a = StimulusSet::build(&sites, &[NetworkKind::Dsl], &[Protocol::Quic], 2, 7);
+        let b = StimulusSet::build(&sites, &[NetworkKind::Dsl], &[Protocol::Quic], 2, 7);
+        assert_eq!(
+            a.get(0, NetworkKind::Dsl, Protocol::Quic).metrics.plt_ms,
+            b.get(0, NetworkKind::Dsl, Protocol::Quic).metrics.plt_ms
+        );
+    }
+
+    #[test]
+    fn quic_typical_video_faster_than_stock_tcp_on_lte() {
+        let sites = vec![catalogue::site("wikipedia.org").unwrap()];
+        let set = StimulusSet::build(
+            &sites,
+            &[NetworkKind::Lte],
+            &[Protocol::Tcp, Protocol::Quic],
+            5,
+            11,
+        );
+        let tcp = set.get(0, NetworkKind::Lte, Protocol::Tcp);
+        let quic = set.get(0, NetworkKind::Lte, Protocol::Quic);
+        assert!(
+            quic.metrics.si_ms < tcp.metrics.si_ms,
+            "QUIC SI {} !< TCP SI {}",
+            quic.metrics.si_ms,
+            tcp.metrics.si_ms
+        );
+    }
+}

@@ -1,0 +1,145 @@
+//! The five technical Web-performance metrics of the paper (§3):
+//! First Visual Change, Last Visual Change, Speed Index, Visual
+//! Completeness 85 % and Page Load Time.
+
+use crate::visual::VisualTimeline;
+use pq_sim::SimTime;
+
+/// One page-load's technical metrics, all in milliseconds.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MetricSet {
+    /// First Visual Change.
+    pub fvc_ms: f64,
+    /// Last Visual Change.
+    pub lvc_ms: f64,
+    /// Speed Index.
+    pub si_ms: f64,
+    /// Time to 85 % visual completeness.
+    pub vc85_ms: f64,
+    /// Page Load Time (onload: every object, visible or not, done).
+    pub plt_ms: f64,
+}
+
+/// Which metric — used to index correlation tables (Figure 6 rows).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Metric {
+    /// First Visual Change.
+    Fvc,
+    /// Speed Index.
+    Si,
+    /// 85 % visual completeness.
+    Vc85,
+    /// Last Visual Change.
+    Lvc,
+    /// Page Load Time.
+    Plt,
+}
+
+impl Metric {
+    /// Figure 6 row order.
+    pub const ALL: [Metric; 5] = [Metric::Fvc, Metric::Si, Metric::Vc85, Metric::Lvc, Metric::Plt];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Metric::Fvc => "FVC",
+            Metric::Si => "SI",
+            Metric::Vc85 => "VC85",
+            Metric::Lvc => "LVC",
+            Metric::Plt => "PLT",
+        }
+    }
+}
+
+impl std::fmt::Display for Metric {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl MetricSet {
+    /// Compute the metric set from a finished visual timeline plus the
+    /// onload instant (`plt`), which includes non-visual resources.
+    pub fn from_timeline(timeline: &VisualTimeline, plt: SimTime) -> MetricSet {
+        let lvc = timeline.last_change().unwrap_or(SimTime::ZERO);
+        MetricSet {
+            fvc_ms: timeline
+                .first_change()
+                .unwrap_or(SimTime::ZERO)
+                .as_millis_f64(),
+            lvc_ms: lvc.as_millis_f64(),
+            si_ms: timeline.speed_index_ms(),
+            vc85_ms: timeline.time_to(0.85).unwrap_or(lvc).as_millis_f64(),
+            plt_ms: plt.as_millis_f64(),
+        }
+    }
+
+    /// Fetch one metric by key.
+    pub fn get(&self, m: Metric) -> f64 {
+        match m {
+            Metric::Fvc => self.fvc_ms,
+            Metric::Si => self.si_ms,
+            Metric::Vc85 => self.vc85_ms,
+            Metric::Lvc => self.lvc_ms,
+            Metric::Plt => self.plt_ms,
+        }
+    }
+
+    /// Sanity ordering every load obeys: FVC ≤ SI ≤ LVC and
+    /// FVC ≤ VC85 ≤ LVC ≤ PLT.
+    pub fn well_ordered(&self) -> bool {
+        let eps = 1e-6;
+        self.fvc_ms <= self.si_ms + eps
+            && self.si_ms <= self.lvc_ms + eps
+            && self.fvc_ms <= self.vc85_ms + eps
+            && self.vc85_ms <= self.lvc_ms + eps
+            && self.lvc_ms <= self.plt_ms + eps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn timeline(points: &[(u64, f64)]) -> VisualTimeline {
+        let mut t = VisualTimeline::new();
+        for &(ms, v) in points {
+            t.push(SimTime::from_millis(ms), v);
+        }
+        t
+    }
+
+    #[test]
+    fn metrics_from_simple_load() {
+        let tl = timeline(&[(120, 0.3), (400, 0.9), (800, 1.0)]);
+        let m = MetricSet::from_timeline(&tl, SimTime::from_millis(950));
+        assert_eq!(m.fvc_ms, 120.0);
+        assert_eq!(m.lvc_ms, 800.0);
+        assert_eq!(m.vc85_ms, 400.0);
+        assert_eq!(m.plt_ms, 950.0);
+        assert!(m.well_ordered(), "{m:?}");
+    }
+
+    #[test]
+    fn get_matches_fields() {
+        let tl = timeline(&[(100, 1.0)]);
+        let m = MetricSet::from_timeline(&tl, SimTime::from_millis(100));
+        for metric in Metric::ALL {
+            assert!(m.get(metric) > 0.0, "{metric}");
+        }
+        assert_eq!(m.get(Metric::Si), m.si_ms);
+    }
+
+    #[test]
+    fn names_in_figure6_order() {
+        let names: Vec<_> = Metric::ALL.iter().map(|m| m.name()).collect();
+        assert_eq!(names, vec!["FVC", "SI", "VC85", "LVC", "PLT"]);
+    }
+
+    #[test]
+    fn ordering_violated_when_plt_precedes_lvc() {
+        let tl = timeline(&[(100, 1.0)]);
+        let m = MetricSet::from_timeline(&tl, SimTime::from_millis(50));
+        assert!(!m.well_ordered());
+    }
+}

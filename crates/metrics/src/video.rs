@@ -1,0 +1,141 @@
+//! Video recordings of loading processes — the study stimulus.
+//!
+//! The paper records the browser window while each site loads ≥31
+//! times, derives the technical metrics per run and then selects "a
+//! video that closely fits a 'typical' recording by taking the video
+//! that is closest to the average PLT" (§3). A [`Recording`] here is
+//! the visual-completeness curve sampled at a video frame rate plus
+//! the run's metric set — everything a (simulated) participant can
+//! perceive.
+
+use crate::metrics::MetricSet;
+use crate::visual::VisualTimeline;
+use pq_sim::{SimDuration, SimTime};
+
+/// A rendered video of one page load.
+#[derive(Clone, Debug)]
+pub struct Recording {
+    /// Frames per second of the recording.
+    pub fps: u32,
+    /// Visual completeness per frame, from t=0 to past the last visual
+    /// change.
+    pub frames: Vec<f64>,
+    /// The run's technical metrics.
+    pub metrics: MetricSet,
+}
+
+impl Recording {
+    /// Render a timeline into a recording at `fps`, padding one second
+    /// of final-state frames (the study videos keep showing the loaded
+    /// page briefly).
+    pub fn render(timeline: &VisualTimeline, plt: SimTime, fps: u32) -> Recording {
+        let fps = fps.max(1);
+        let end = timeline
+            .last_change()
+            .unwrap_or(SimTime::ZERO)
+            .max(plt)
+            + SimDuration::from_secs(1);
+        let frame_ns = 1_000_000_000u64 / u64::from(fps);
+        let n = (end.as_nanos() / frame_ns + 1) as usize;
+        let frames = (0..n)
+            .map(|i| timeline.at(SimTime::from_nanos(i as u64 * frame_ns)))
+            .collect();
+        Recording {
+            fps,
+            frames,
+            metrics: MetricSet::from_timeline(timeline, plt),
+        }
+    }
+
+    /// Video duration in seconds.
+    pub fn duration_secs(&self) -> f64 {
+        self.frames.len() as f64 / f64::from(self.fps)
+    }
+
+    /// Visual completeness at playback time `secs`.
+    pub fn vc_at(&self, secs: f64) -> f64 {
+        if self.frames.is_empty() || secs < 0.0 {
+            return 0.0;
+        }
+        let idx = (secs * f64::from(self.fps)) as usize;
+        self.frames[idx.min(self.frames.len() - 1)]
+    }
+}
+
+/// Select the run whose PLT is closest to the mean PLT — the paper's
+/// "typical video" rule. Returns the index into `runs`.
+pub fn typical_run(runs: &[MetricSet]) -> Option<usize> {
+    if runs.is_empty() {
+        return None;
+    }
+    let mean = runs.iter().map(|m| m.plt_ms).sum::<f64>() / runs.len() as f64;
+    runs.iter()
+        .enumerate()
+        .min_by(|(_, a), (_, b)| {
+            (a.plt_ms - mean)
+                .abs()
+                .partial_cmp(&(b.plt_ms - mean).abs())
+                .expect("PLT is finite")
+        })
+        .map(|(i, _)| i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn timeline(points: &[(u64, f64)]) -> VisualTimeline {
+        let mut t = VisualTimeline::new();
+        for &(ms, v) in points {
+            t.push(SimTime::from_millis(ms), v);
+        }
+        t
+    }
+
+    fn metrics(plt: f64) -> MetricSet {
+        MetricSet {
+            fvc_ms: plt / 4.0,
+            lvc_ms: plt * 0.9,
+            si_ms: plt / 2.0,
+            vc85_ms: plt * 0.8,
+            plt_ms: plt,
+        }
+    }
+
+    #[test]
+    fn render_samples_curve() {
+        let tl = timeline(&[(500, 0.5), (1000, 1.0)]);
+        let rec = Recording::render(&tl, SimTime::from_millis(1000), 10);
+        // 2 s of video at 10 fps (1 s load + 1 s padding).
+        assert!(rec.frames.len() >= 20, "frames {}", rec.frames.len());
+        assert_eq!(rec.vc_at(0.0), 0.0);
+        assert_eq!(rec.vc_at(0.7), 0.5);
+        assert_eq!(rec.vc_at(1.5), 1.0);
+        assert_eq!(rec.vc_at(100.0), 1.0, "clamped past end");
+        assert!(rec.duration_secs() >= 2.0);
+    }
+
+    #[test]
+    fn typical_run_picks_closest_to_mean() {
+        let runs = vec![metrics(900.0), metrics(1000.0), metrics(2000.0)];
+        // Mean = 1300 → closest is 1000 (index 1).
+        assert_eq!(typical_run(&runs), Some(1));
+        assert_eq!(typical_run(&[]), None);
+        assert_eq!(typical_run(&runs[..1]), Some(0));
+    }
+
+    #[test]
+    fn zero_fps_clamped() {
+        let tl = timeline(&[(100, 1.0)]);
+        let rec = Recording::render(&tl, SimTime::from_millis(100), 0);
+        assert_eq!(rec.fps, 1);
+        assert!(!rec.frames.is_empty());
+    }
+
+    #[test]
+    fn negative_playback_time() {
+        let tl = timeline(&[(100, 1.0)]);
+        let rec = Recording::render(&tl, SimTime::from_millis(100), 30);
+        assert_eq!(rec.vc_at(-1.0), 0.0);
+    }
+}

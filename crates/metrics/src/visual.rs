@@ -1,0 +1,181 @@
+//! The visual-completeness timeline of one page-load.
+//!
+//! The browser model emits paint events; this module normalizes them
+//! into a monotone step function `VC(t) ∈ [0, 1]` — the same curve
+//! visual-metrics tools extract from screen recordings frame by frame.
+
+use pq_sim::SimTime;
+
+/// A monotone step function of visual completeness over time.
+#[derive(Clone, Debug, Default)]
+pub struct VisualTimeline {
+    /// `(time, completeness)` steps, strictly increasing in time,
+    /// non-decreasing in completeness.
+    steps: Vec<(SimTime, f64)>,
+}
+
+impl VisualTimeline {
+    /// Empty timeline (blank screen forever).
+    pub fn new() -> Self {
+        VisualTimeline::default()
+    }
+
+    /// Record that visual completeness reached `vc` at `at`.
+    /// Out-of-order or regressing inputs are clamped to keep the curve
+    /// monotone (a renderer never un-paints).
+    pub fn push(&mut self, at: SimTime, vc: f64) {
+        let vc = vc.clamp(0.0, 1.0);
+        let prev = self.completeness();
+        let vc = vc.max(prev);
+        if let Some(&mut (t_last, ref mut v_last)) = self.steps.last_mut() {
+            if at <= t_last {
+                *v_last = vc;
+                return;
+            }
+        }
+        if vc > prev || self.steps.is_empty() {
+            self.steps.push((at, vc));
+        }
+    }
+
+    /// Current (final) completeness.
+    pub fn completeness(&self) -> f64 {
+        self.steps.last().map_or(0.0, |&(_, v)| v)
+    }
+
+    /// The steps recorded so far.
+    pub fn steps(&self) -> &[(SimTime, f64)] {
+        &self.steps
+    }
+
+    /// Completeness at an arbitrary time.
+    pub fn at(&self, t: SimTime) -> f64 {
+        match self.steps.partition_point(|&(st, _)| st <= t) {
+            0 => 0.0,
+            i => self.steps[i - 1].1,
+        }
+    }
+
+    /// First time completeness became non-zero (First Visual Change).
+    pub fn first_change(&self) -> Option<SimTime> {
+        self.steps.iter().find(|&&(_, v)| v > 0.0).map(|&(t, _)| t)
+    }
+
+    /// Last time completeness changed (Last Visual Change).
+    pub fn last_change(&self) -> Option<SimTime> {
+        self.steps.last().map(|&(t, _)| t)
+    }
+
+    /// First time completeness reached `threshold` (e.g. 0.85 → VC85).
+    pub fn time_to(&self, threshold: f64) -> Option<SimTime> {
+        self.steps
+            .iter()
+            .find(|&&(_, v)| v >= threshold - 1e-12)
+            .map(|&(t, _)| t)
+    }
+
+    /// Speed Index: `∫ (1 − VC(t)) dt` from 0 to the last change,
+    /// in milliseconds (the unit SI is conventionally reported in).
+    pub fn speed_index_ms(&self) -> f64 {
+        let mut si = 0.0;
+        let mut prev_t = SimTime::ZERO;
+        let mut prev_v = 0.0;
+        for &(t, v) in &self.steps {
+            si += (1.0 - prev_v) * t.saturating_since(prev_t).as_millis_f64();
+            prev_t = t;
+            prev_v = v;
+        }
+        si
+    }
+
+    /// True when the page finished painting (VC reached 1).
+    pub fn complete(&self) -> bool {
+        self.completeness() >= 1.0 - 1e-12
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tl(points: &[(u64, f64)]) -> VisualTimeline {
+        let mut t = VisualTimeline::new();
+        for &(ms, v) in points {
+            t.push(SimTime::from_millis(ms), v);
+        }
+        t
+    }
+
+    #[test]
+    fn basic_curve() {
+        let t = tl(&[(100, 0.3), (200, 0.8), (300, 1.0)]);
+        assert_eq!(t.first_change(), Some(SimTime::from_millis(100)));
+        assert_eq!(t.last_change(), Some(SimTime::from_millis(300)));
+        assert_eq!(t.time_to(0.85), Some(SimTime::from_millis(300)));
+        assert_eq!(t.time_to(0.5), Some(SimTime::from_millis(200)));
+        assert!(t.complete());
+    }
+
+    #[test]
+    fn speed_index_rectangle_rule() {
+        // VC jumps to 1.0 at 500 ms → SI = 500.
+        let t = tl(&[(500, 1.0)]);
+        assert!((t.speed_index_ms() - 500.0).abs() < 1e-9);
+        // Half at 200, full at 600 → 200 + 0.5·400 = 400.
+        let t = tl(&[(200, 0.5), (600, 1.0)]);
+        assert!((t.speed_index_ms() - 400.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn si_bounded_by_fvc_and_lvc() {
+        let t = tl(&[(100, 0.2), (250, 0.7), (900, 1.0)]);
+        let si = t.speed_index_ms();
+        assert!(si >= 100.0, "SI ≥ FVC");
+        assert!(si <= 900.0, "SI ≤ LVC");
+    }
+
+    #[test]
+    fn monotonicity_enforced() {
+        let mut t = VisualTimeline::new();
+        t.push(SimTime::from_millis(100), 0.5);
+        t.push(SimTime::from_millis(200), 0.3); // regression ignored
+        assert_eq!(t.completeness(), 0.5);
+        assert_eq!(t.steps().len(), 1, "no new step for a non-increase");
+    }
+
+    #[test]
+    fn same_time_updates_last_step() {
+        let mut t = VisualTimeline::new();
+        t.push(SimTime::from_millis(100), 0.5);
+        t.push(SimTime::from_millis(100), 0.7);
+        assert_eq!(t.steps().len(), 1);
+        assert_eq!(t.completeness(), 0.7);
+    }
+
+    #[test]
+    fn at_interpolates_as_step() {
+        let t = tl(&[(100, 0.4), (300, 1.0)]);
+        assert_eq!(t.at(SimTime::from_millis(50)), 0.0);
+        assert_eq!(t.at(SimTime::from_millis(100)), 0.4);
+        assert_eq!(t.at(SimTime::from_millis(299)), 0.4);
+        assert_eq!(t.at(SimTime::from_millis(1000)), 1.0);
+    }
+
+    #[test]
+    fn empty_timeline() {
+        let t = VisualTimeline::new();
+        assert_eq!(t.first_change(), None);
+        assert_eq!(t.last_change(), None);
+        assert_eq!(t.speed_index_ms(), 0.0);
+        assert!(!t.complete());
+        assert_eq!(t.at(SimTime::from_secs(5)), 0.0);
+    }
+
+    #[test]
+    fn clamps_out_of_range() {
+        let mut t = VisualTimeline::new();
+        t.push(SimTime::from_millis(10), -0.5);
+        t.push(SimTime::from_millis(20), 1.7);
+        assert_eq!(t.completeness(), 1.0);
+    }
+}

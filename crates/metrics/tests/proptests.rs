@@ -1,0 +1,101 @@
+//! Property-based tests for the visual-metrics layer.
+
+use proptest::prelude::*;
+use pq_metrics::{typical_run, MetricSet, Recording, VisualTimeline};
+use pq_sim::SimTime;
+
+fn timeline_from(events: &[(u64, f64)]) -> VisualTimeline {
+    let mut tl = VisualTimeline::new();
+    for &(ms, vc) in events {
+        tl.push(SimTime::from_millis(ms), vc);
+    }
+    tl
+}
+
+proptest! {
+    /// The VC curve is monotone in time no matter the input order or
+    /// values.
+    #[test]
+    fn timeline_is_monotone(events in prop::collection::vec((0u64..10_000, -0.5f64..1.5), 1..100)) {
+        let tl = timeline_from(&events);
+        let mut prev = 0.0;
+        for &(t, v) in tl.steps() {
+            prop_assert!(v >= prev, "regression at {t:?}");
+            prop_assert!((0.0..=1.0).contains(&v));
+            prev = v;
+        }
+        // Sampled curve is monotone too.
+        let mut last = 0.0;
+        for ms in (0..10_500).step_by(137) {
+            let v = tl.at(SimTime::from_millis(ms));
+            prop_assert!(v >= last);
+            last = v;
+        }
+    }
+
+    /// For complete loads: FVC ≤ SI ≤ LVC (Speed Index is a weighted
+    /// average of paint times).
+    #[test]
+    fn si_bounded_by_fvc_and_lvc(mut events in prop::collection::vec((1u64..30_000, 0.01f64..1.0), 1..60)) {
+        events.sort_by_key(|e| e.0);
+        let mut tl = timeline_from(&events);
+        let end = events.last().unwrap().0 + 1;
+        tl.push(SimTime::from_millis(end), 1.0);
+        let fvc = tl.first_change().unwrap().as_millis_f64();
+        let lvc = tl.last_change().unwrap().as_millis_f64();
+        let si = tl.speed_index_ms();
+        prop_assert!(si >= fvc - 1e-9, "SI {si} < FVC {fvc}");
+        prop_assert!(si <= lvc + 1e-9, "SI {si} > LVC {lvc}");
+    }
+
+    /// MetricSet::well_ordered holds for every complete monotone load.
+    #[test]
+    fn metric_ordering_invariant(mut events in prop::collection::vec((1u64..30_000, 0.01f64..1.0), 1..60), plt_extra in 0u64..5_000) {
+        events.sort_by_key(|e| e.0);
+        let mut tl = timeline_from(&events);
+        let end = events.last().unwrap().0 + 1;
+        tl.push(SimTime::from_millis(end), 1.0);
+        let plt = SimTime::from_millis(end + plt_extra);
+        let m = MetricSet::from_timeline(&tl, plt);
+        prop_assert!(m.well_ordered(), "{m:?}");
+    }
+
+    /// A rendered recording reproduces the timeline at frame times and
+    /// its metrics match the source.
+    #[test]
+    fn recording_samples_match_timeline(mut events in prop::collection::vec((1u64..5_000, 0.01f64..1.0), 1..30), fps in 1u32..60) {
+        events.sort_by_key(|e| e.0);
+        let mut tl = timeline_from(&events);
+        let end = events.last().unwrap().0 + 1;
+        tl.push(SimTime::from_millis(end), 1.0);
+        let rec = Recording::render(&tl, SimTime::from_millis(end), fps);
+        prop_assert!((rec.metrics.si_ms - tl.speed_index_ms()).abs() < 1e-9);
+        // Frames are monotone and end at 1.0.
+        for w in rec.frames.windows(2) {
+            prop_assert!(w[1] >= w[0] - 1e-12);
+        }
+        prop_assert!((rec.frames.last().unwrap() - 1.0).abs() < 1e-9);
+    }
+
+    /// typical_run picks an index whose PLT distance to the mean is
+    /// minimal.
+    #[test]
+    fn typical_run_is_argmin(plts in prop::collection::vec(10.0f64..100_000.0, 1..40)) {
+        let runs: Vec<MetricSet> = plts
+            .iter()
+            .map(|&p| MetricSet {
+                fvc_ms: p / 4.0,
+                si_ms: p / 2.0,
+                vc85_ms: p * 0.8,
+                lvc_ms: p * 0.9,
+                plt_ms: p,
+            })
+            .collect();
+        let mean = plts.iter().sum::<f64>() / plts.len() as f64;
+        let idx = typical_run(&runs).unwrap();
+        let chosen = (runs[idx].plt_ms - mean).abs();
+        for r in &runs {
+            prop_assert!(chosen <= (r.plt_ms - mean).abs() + 1e-9);
+        }
+    }
+}

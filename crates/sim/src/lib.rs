@@ -1,0 +1,45 @@
+//! # pq-sim — deterministic discrete-event network emulation
+//!
+//! The Mahimahi-equivalent substrate of the *Perceiving QUIC*
+//! reproduction: a packet-granular, event-driven simulator of the
+//! client access link with rate shaping, drop-tail queueing sized in
+//! milliseconds, fixed propagation delay and i.i.d. random loss —
+//! exactly the knobs of the paper's Table 2.
+//!
+//! Design follows the smoltcp school: no async runtime, no trait
+//! objects on the hot path, explicit state machines, and everything
+//! driven by a virtual clock so runs are bit-for-bit reproducible from
+//! a single seed.
+//!
+//! ## Quick tour
+//!
+//! * [`SimTime`] / [`SimDuration`] — integer-nanosecond virtual time.
+//! * [`SimRng`] — splittable PCG RNG; every subsystem forks its own
+//!   stream.
+//! * [`EventQueue`] — the future-event list with FIFO tie-breaking.
+//! * [`Link`] — one direction of the access link (shaping + queue +
+//!   delay + loss), driven by `push`/`on_tx_done` callbacks.
+//! * [`NetworkKind`] — the DSL / LTE / DA2GC / MSS presets (Table 2).
+//! * [`Trace`] — counters (retransmissions, handshakes, …) used by the
+//!   paper's analysis.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod link;
+pub mod netconfig;
+pub mod packet;
+pub mod queue;
+pub mod rng;
+pub mod time;
+pub mod trace;
+
+pub use event::EventQueue;
+pub use link::{Link, LinkConfig, LinkStats, PushOutcome, TxDone};
+pub use netconfig::{NetworkConfig, NetworkKind};
+pub use packet::{ConnId, Direction, OriginId, Packet};
+pub use queue::DropTailQueue;
+pub use rng::SimRng;
+pub use time::{SimDuration, SimTime};
+pub use trace::{Trace, TraceEvent, TraceKind};

@@ -1,0 +1,184 @@
+//! The four emulated access networks of the paper's Table 2.
+//!
+//! | Network | Uplink | Downlink | min. RTT | Loss | Queue |
+//! |---------|--------|----------|----------|------|-------|
+//! | DSL     | 5 Mbps | 25 Mbps  | 24 ms    | 0 %  | 12 ms |
+//! | LTE     | 2.8 Mbps | 10.5 Mbps | 74 ms | 0 %  | 200 ms |
+//! | DA2GC   | 0.468 Mbps | 0.468 Mbps | 262 ms | 3.3 % | 200 ms |
+//! | MSS     | 1.89 Mbps | 1.89 Mbps | 760 ms | 6.0 % | 200 ms |
+//!
+//! DSL and LTE are the German household/mobile medians used by the
+//! paper; DA2GC and MSS are the two "bad" in-flight WiFi networks from
+//! Rula et al. (WWW'18).
+
+use crate::link::LinkConfig;
+use crate::time::SimDuration;
+
+/// The four network settings of the user study.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum NetworkKind {
+    /// Median German household broadband.
+    Dsl,
+    /// Median German mobile network.
+    Lte,
+    /// In-flight WiFi, direct-air-to-ground-cellular backhaul.
+    Da2gc,
+    /// In-flight WiFi, mobile-satellite-service backhaul.
+    Mss,
+}
+
+impl NetworkKind {
+    /// All four settings, in the paper's column order.
+    pub const ALL: [NetworkKind; 4] = [
+        NetworkKind::Dsl,
+        NetworkKind::Lte,
+        NetworkKind::Da2gc,
+        NetworkKind::Mss,
+    ];
+
+    /// The paper's display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            NetworkKind::Dsl => "DSL",
+            NetworkKind::Lte => "LTE",
+            NetworkKind::Da2gc => "DA2GC",
+            NetworkKind::Mss => "MSS",
+        }
+    }
+
+    /// The two in-flight networks are the "plane" environment of the
+    /// rating study; DSL/LTE appear in the work and free-time settings.
+    pub fn is_inflight(self) -> bool {
+        matches!(self, NetworkKind::Da2gc | NetworkKind::Mss)
+    }
+
+    /// Emulation parameters (Table 2).
+    pub fn config(self) -> NetworkConfig {
+        match self {
+            NetworkKind::Dsl => NetworkConfig {
+                kind: self,
+                up_bps: 5_000_000,
+                down_bps: 25_000_000,
+                min_rtt: SimDuration::from_millis(24),
+                loss: 0.0,
+                queue_ms: 12,
+            },
+            NetworkKind::Lte => NetworkConfig {
+                kind: self,
+                up_bps: 2_800_000,
+                down_bps: 10_500_000,
+                min_rtt: SimDuration::from_millis(74),
+                loss: 0.0,
+                queue_ms: 200,
+            },
+            NetworkKind::Da2gc => NetworkConfig {
+                kind: self,
+                up_bps: 468_000,
+                down_bps: 468_000,
+                min_rtt: SimDuration::from_millis(262),
+                loss: 0.033,
+                queue_ms: 200,
+            },
+            NetworkKind::Mss => NetworkConfig {
+                kind: self,
+                up_bps: 1_890_000,
+                down_bps: 1_890_000,
+                min_rtt: SimDuration::from_millis(760),
+                loss: 0.060,
+                queue_ms: 200,
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for NetworkKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Full parameter set for one emulated network.
+#[derive(Clone, Debug)]
+pub struct NetworkConfig {
+    /// Which preset this is.
+    pub kind: NetworkKind,
+    /// Uplink rate, bits per second.
+    pub up_bps: u64,
+    /// Downlink rate, bits per second.
+    pub down_bps: u64,
+    /// Minimum round-trip time (split evenly between the directions).
+    pub min_rtt: SimDuration,
+    /// i.i.d. random loss probability, applied per direction.
+    pub loss: f64,
+    /// Drop-tail queue budget in milliseconds at line rate.
+    pub queue_ms: u64,
+}
+
+impl NetworkConfig {
+    /// Link config for the uplink direction.
+    pub fn uplink(&self) -> LinkConfig {
+        LinkConfig::with_queue_ms(self.up_bps, self.min_rtt / 2, self.loss, self.queue_ms)
+    }
+
+    /// Link config for the downlink direction.
+    pub fn downlink(&self) -> LinkConfig {
+        LinkConfig::with_queue_ms(self.down_bps, self.min_rtt / 2, self.loss, self.queue_ms)
+    }
+
+    /// Bandwidth-delay product of the downlink in bytes — what the
+    /// paper tunes TCP+ socket buffers to.
+    pub fn bdp_bytes(&self) -> u64 {
+        (self.down_bps as f64 / 8.0 * self.min_rtt.as_secs_f64()) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_values() {
+        let dsl = NetworkKind::Dsl.config();
+        assert_eq!(dsl.up_bps, 5_000_000);
+        assert_eq!(dsl.down_bps, 25_000_000);
+        assert_eq!(dsl.min_rtt, SimDuration::from_millis(24));
+        assert_eq!(dsl.loss, 0.0);
+        assert_eq!(dsl.queue_ms, 12);
+
+        let mss = NetworkKind::Mss.config();
+        assert_eq!(mss.up_bps, 1_890_000);
+        assert!((mss.loss - 0.06).abs() < 1e-12);
+        assert_eq!(mss.min_rtt, SimDuration::from_millis(760));
+    }
+
+    #[test]
+    fn rtt_splits_between_directions() {
+        let lte = NetworkKind::Lte.config();
+        let one_way = lte.uplink().prop_delay + lte.downlink().prop_delay;
+        assert_eq!(one_way, lte.min_rtt);
+    }
+
+    #[test]
+    fn inflight_flag() {
+        assert!(!NetworkKind::Dsl.is_inflight());
+        assert!(!NetworkKind::Lte.is_inflight());
+        assert!(NetworkKind::Da2gc.is_inflight());
+        assert!(NetworkKind::Mss.is_inflight());
+    }
+
+    #[test]
+    fn bdp_is_sane() {
+        // DSL: 25 Mbps × 24 ms = 75 kB.
+        assert_eq!(NetworkKind::Dsl.config().bdp_bytes(), 75_000);
+        // DA2GC: 0.468 Mbps × 262 ms ≈ 15.3 kB — note this is ~10
+        // segments, which is why IW32 overshoots there (§4.3).
+        let bdp = NetworkKind::Da2gc.config().bdp_bytes();
+        assert!((15_000..16_000).contains(&bdp), "bdp {bdp}");
+    }
+
+    #[test]
+    fn names_match_paper() {
+        let names: Vec<_> = NetworkKind::ALL.iter().map(|n| n.name()).collect();
+        assert_eq!(names, vec!["DSL", "LTE", "DA2GC", "MSS"]);
+    }
+}

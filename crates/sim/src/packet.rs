@@ -1,0 +1,85 @@
+//! Packet and addressing primitives shared by the link and transport
+//! layers.
+
+use std::fmt;
+
+/// Direction of travel through the emulated access link, from the
+/// client's point of view (matching the paper's Table 2 columns).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Client → servers ("Uplink").
+    Up,
+    /// Servers → client ("Downlink").
+    Down,
+}
+
+impl Direction {
+    /// The opposite direction.
+    pub fn flip(self) -> Direction {
+        match self {
+            Direction::Up => Direction::Down,
+            Direction::Down => Direction::Up,
+        }
+    }
+}
+
+impl fmt::Display for Direction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Direction::Up => write!(f, "up"),
+            Direction::Down => write!(f, "down"),
+        }
+    }
+}
+
+/// Identifier of a transport connection within one simulation world.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ConnId(pub u32);
+
+/// Identifier of a server origin (one per contacted host of a website).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct OriginId(pub u16);
+
+/// A simulated packet: a size on the wire plus a transport-defined
+/// payload describing its semantic content (segments, frames, …).
+///
+/// The simulator is packet-granular but does not serialize payloads to
+/// bytes; `size` is what the link model charges for (headers included
+/// by the transport when it builds the packet).
+#[derive(Clone, Debug)]
+pub struct Packet<P> {
+    /// Connection this packet belongs to (used for demultiplexing at
+    /// the endpoints; the link does not interpret it).
+    pub conn: ConnId,
+    /// Total on-the-wire size in bytes, including header overhead.
+    pub size: u32,
+    /// Transport-specific content.
+    pub payload: P,
+}
+
+impl<P> Packet<P> {
+    /// Construct a packet.
+    pub fn new(conn: ConnId, size: u32, payload: P) -> Self {
+        Packet { conn, size, payload }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn direction_flip() {
+        assert_eq!(Direction::Up.flip(), Direction::Down);
+        assert_eq!(Direction::Down.flip(), Direction::Up);
+        assert_eq!(Direction::Up.to_string(), "up");
+    }
+
+    #[test]
+    fn packet_carries_payload() {
+        let p = Packet::new(ConnId(3), 1500, "payload");
+        assert_eq!(p.conn, ConnId(3));
+        assert_eq!(p.size, 1500);
+        assert_eq!(p.payload, "payload");
+    }
+}

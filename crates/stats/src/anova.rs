@@ -1,0 +1,148 @@
+//! One-way ANOVA — the paper's significance test across protocol
+//! variants ("using a significance level of 99 % and an ANOVA test",
+//! §4.4).
+
+use crate::desc::mean;
+use crate::dist::f_cdf;
+
+/// Result of a one-way ANOVA.
+#[derive(Clone, Copy, Debug)]
+pub struct AnovaResult {
+    /// The F statistic.
+    pub f: f64,
+    /// Between-groups degrees of freedom (k − 1).
+    pub df_between: f64,
+    /// Within-groups degrees of freedom (N − k).
+    pub df_within: f64,
+    /// p-value of the F test.
+    pub p: f64,
+}
+
+impl AnovaResult {
+    /// Significant at the given level (e.g. 0.99 → p < 0.01)?
+    pub fn significant_at(&self, confidence: f64) -> bool {
+        self.p < 1.0 - confidence
+    }
+}
+
+/// One-way ANOVA over ≥2 groups. Returns `None` when the design is
+/// degenerate (fewer than two groups with data, or no residual df).
+pub fn one_way_anova(groups: &[&[f64]]) -> Option<AnovaResult> {
+    let groups: Vec<&&[f64]> = groups.iter().filter(|g| !g.is_empty()).collect();
+    let k = groups.len();
+    if k < 2 {
+        return None;
+    }
+    let n_total: usize = groups.iter().map(|g| g.len()).sum();
+    if n_total <= k {
+        return None;
+    }
+    let grand: f64 = groups.iter().flat_map(|g| g.iter()).sum::<f64>() / n_total as f64;
+
+    let ss_between: f64 = groups
+        .iter()
+        .map(|g| {
+            let m = mean(g);
+            g.len() as f64 * (m - grand) * (m - grand)
+        })
+        .sum();
+    let ss_within: f64 = groups
+        .iter()
+        .map(|g| {
+            let m = mean(g);
+            g.iter().map(|x| (x - m) * (x - m)).sum::<f64>()
+        })
+        .sum();
+
+    let df_b = (k - 1) as f64;
+    let df_w = (n_total - k) as f64;
+    let ms_b = ss_between / df_b;
+    let ms_w = ss_within / df_w;
+    let f = if ms_w > 0.0 {
+        ms_b / ms_w
+    } else if ms_b > 0.0 {
+        f64::INFINITY
+    } else {
+        0.0
+    };
+    let p = if f.is_finite() {
+        1.0 - f_cdf(f, df_b, df_w)
+    } else {
+        0.0
+    };
+    Some(AnovaResult {
+        f,
+        df_between: df_b,
+        df_within: df_w,
+        p,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_groups_not_significant() {
+        let g1 = [5.0, 6.0, 7.0, 5.5, 6.5];
+        let g2 = [5.1, 6.1, 6.9, 5.4, 6.6];
+        let r = one_way_anova(&[&g1, &g2]).unwrap();
+        assert!(r.p > 0.5, "p {}", r.p);
+        assert!(!r.significant_at(0.99));
+    }
+
+    #[test]
+    fn separated_groups_significant() {
+        let g1 = [1.0, 1.1, 0.9, 1.05, 0.95];
+        let g2 = [5.0, 5.1, 4.9, 5.05, 4.95];
+        let r = one_way_anova(&[&g1, &g2]).unwrap();
+        assert!(r.p < 1e-6, "p {}", r.p);
+        assert!(r.significant_at(0.99));
+        assert!(r.significant_at(0.90));
+    }
+
+    #[test]
+    fn textbook_f_value() {
+        // Classic example: three groups.
+        let a = [6.0, 8.0, 4.0, 5.0, 3.0, 4.0];
+        let b = [8.0, 12.0, 9.0, 11.0, 6.0, 8.0];
+        let c = [13.0, 9.0, 11.0, 8.0, 7.0, 12.0];
+        let r = one_way_anova(&[&a, &b, &c]).unwrap();
+        assert_eq!(r.df_between, 2.0);
+        assert_eq!(r.df_within, 15.0);
+        // Known F ≈ 9.3 for this dataset.
+        assert!((r.f - 9.3).abs() < 0.2, "F {}", r.f);
+        assert!(r.p < 0.01);
+    }
+
+    #[test]
+    fn marginal_case_significance_levels_differ() {
+        // A spread chosen to be significant at 90 % but not at 99 %.
+        let g1 = [10.0, 11.0, 12.0, 10.5, 11.5, 9.8, 12.2, 10.9];
+        let g2 = [11.2, 12.2, 13.0, 11.6, 12.8, 11.1, 13.3, 12.1];
+        let r = one_way_anova(&[&g1, &g2]).unwrap();
+        assert!(r.significant_at(0.90), "p {}", r.p);
+        assert!(!r.significant_at(0.999), "p {}", r.p);
+    }
+
+    #[test]
+    fn degenerate_designs() {
+        assert!(one_way_anova(&[]).is_none());
+        let g = [1.0, 2.0];
+        assert!(one_way_anova(&[&g]).is_none());
+        let s1 = [1.0];
+        let s2 = [2.0];
+        assert!(one_way_anova(&[&s1, &s2]).is_none(), "no residual df");
+        let empty: [f64; 0] = [];
+        assert!(one_way_anova(&[&g, &empty]).is_none(), "one non-empty group");
+    }
+
+    #[test]
+    fn zero_variance_within() {
+        let g1 = [2.0, 2.0, 2.0];
+        let g2 = [3.0, 3.0, 3.0];
+        let r = one_way_anova(&[&g1, &g2]).unwrap();
+        assert!(r.f.is_infinite());
+        assert_eq!(r.p, 0.0);
+    }
+}

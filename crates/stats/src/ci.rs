@@ -1,0 +1,126 @@
+//! Confidence intervals — the 99 % error bars of Figures 3 and 5.
+
+use crate::desc::{mean, sem};
+use crate::dist::{t_critical, z_critical};
+
+/// A symmetric confidence interval around a mean.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ConfidenceInterval {
+    /// Sample mean.
+    pub mean: f64,
+    /// Half-width of the interval.
+    pub half_width: f64,
+    /// Confidence level used (e.g. 0.99).
+    pub confidence: f64,
+}
+
+impl ConfidenceInterval {
+    /// Lower bound.
+    pub fn lo(&self) -> f64 {
+        self.mean - self.half_width
+    }
+
+    /// Upper bound.
+    pub fn hi(&self) -> f64 {
+        self.mean + self.half_width
+    }
+
+    /// Whether `v` lies inside the interval.
+    pub fn contains(&self, v: f64) -> bool {
+        (self.lo()..=self.hi()).contains(&v)
+    }
+
+    /// Whether two intervals overlap (the paper's informal agreement
+    /// check in Figure 3 and "the confidence intervals mostly overlap"
+    /// in §4.4).
+    pub fn overlaps(&self, other: &ConfidenceInterval) -> bool {
+        self.lo() <= other.hi() && other.lo() <= self.hi()
+    }
+}
+
+/// Student-t interval for the mean of a sample.
+pub fn t_interval(xs: &[f64], confidence: f64) -> ConfidenceInterval {
+    let n = xs.len();
+    let hw = if n >= 2 {
+        t_critical(confidence, (n - 1) as f64) * sem(xs)
+    } else {
+        0.0
+    };
+    ConfidenceInterval {
+        mean: mean(xs),
+        half_width: hw,
+        confidence,
+    }
+}
+
+/// Normal (z) interval for the mean — adequate for the large µWorker
+/// samples.
+pub fn z_interval(xs: &[f64], confidence: f64) -> ConfidenceInterval {
+    ConfidenceInterval {
+        mean: mean(xs),
+        half_width: z_critical(confidence) * sem(xs),
+        confidence,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn t_interval_widths() {
+        let xs = [10.0, 12.0, 9.0, 11.0, 10.0, 12.0, 9.0, 11.0];
+        let ci95 = t_interval(&xs, 0.95);
+        let ci99 = t_interval(&xs, 0.99);
+        assert!(ci99.half_width > ci95.half_width, "99 % is wider");
+        assert!(ci95.contains(ci95.mean));
+        assert!((ci95.mean - 10.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coverage_sanity() {
+        // For a sample straight from its own mean, interval contains it.
+        let xs = [5.0, 5.1, 4.9, 5.05, 4.95];
+        let ci = t_interval(&xs, 0.99);
+        assert!(ci.contains(5.0));
+    }
+
+    #[test]
+    fn overlap_logic() {
+        let a = ConfidenceInterval {
+            mean: 10.0,
+            half_width: 2.0,
+            confidence: 0.99,
+        };
+        let b = ConfidenceInterval {
+            mean: 13.0,
+            half_width: 1.5,
+            confidence: 0.99,
+        };
+        assert!(a.overlaps(&b), "11.5..14.5 touches 8..12");
+        let c = ConfidenceInterval {
+            mean: 20.0,
+            half_width: 1.0,
+            confidence: 0.99,
+        };
+        assert!(!a.overlaps(&c));
+        assert!(a.overlaps(&a));
+    }
+
+    #[test]
+    fn degenerate_samples() {
+        let ci = t_interval(&[7.0], 0.99);
+        assert_eq!(ci.mean, 7.0);
+        assert_eq!(ci.half_width, 0.0);
+        let ci = t_interval(&[], 0.95);
+        assert_eq!(ci.mean, 0.0);
+    }
+
+    #[test]
+    fn z_interval_narrower_than_t_for_small_n() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let z = z_interval(&xs, 0.95);
+        let t = t_interval(&xs, 0.95);
+        assert!(z.half_width < t.half_width);
+    }
+}

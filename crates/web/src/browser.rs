@@ -1,0 +1,732 @@
+//! The browser model: a fresh-profile page load through the emulated
+//! access link (the Chromium + Browsertime role of the paper's §3).
+//!
+//! One `load_page` call = one website visit with an empty cache: every
+//! origin needs a fresh connection (so QUIC's 1-RTT handshake pays off
+//! once per origin), resources are discovered progressively while the
+//! document streams in, and paint events build the visual-completeness
+//! timeline that the metrics and the user-study stimuli are derived
+//! from.
+
+use crate::http1::{H1Conn, H1Pool};
+use crate::http2::H2Mux;
+use crate::http3::H3Map;
+use crate::object::{ObjectId, WebObject};
+use crate::website::Website;
+use pq_metrics::{MetricSet, Recording, VisualTimeline};
+use pq_sim::{
+    ConnId, Direction, EventQueue, Link, NetworkConfig, Packet, PushOutcome, SimDuration, SimRng,
+    SimTime, Trace, TraceKind,
+};
+use pq_transport::{Connection, Output, Protocol, Wire};
+use std::collections::HashMap;
+
+/// HTTP version used over the TCP stacks (QUIC always uses its own
+/// stream mapping).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum HttpVersion {
+    /// HTTP/1.1: one request per connection, a pool of up to 6
+    /// connections per origin — the legacy baseline.
+    Http1,
+    /// HTTP/2: one multiplexed connection per origin (the paper's
+    /// TCP-side configuration).
+    #[default]
+    Http2,
+}
+
+/// Tunables of one page load.
+#[derive(Clone, Debug)]
+pub struct LoadOptions {
+    /// Recording frame rate; 0 disables video rendering.
+    pub fps: u32,
+    /// Give up after this much virtual time.
+    pub horizon: SimDuration,
+    /// Server think time: fixed base in milliseconds…
+    pub think_base_ms: f64,
+    /// …plus an exponential jitter with this mean (run-to-run
+    /// variation, as in any real testbed).
+    pub think_jitter_ms: f64,
+    /// Detailed trace-event capacity (0 = counters only).
+    pub trace_capacity: usize,
+    /// Scale factor on client-side processing costs (parse, script
+    /// execution, image decode, style+layout). 1.0 = calibrated
+    /// defaults; 0.0 disables processing entirely (network-only loads,
+    /// useful for ablations).
+    pub processing_scale: f64,
+    /// HTTP version for the TCP stacks (ignored by QUIC).
+    pub http_version: HttpVersion,
+}
+
+impl Default for LoadOptions {
+    fn default() -> Self {
+        LoadOptions {
+            fps: 0,
+            horizon: SimDuration::from_secs(300),
+            think_base_ms: 4.0,
+            think_jitter_ms: 3.0,
+            trace_capacity: 0,
+            processing_scale: 1.0,
+            http_version: HttpVersion::Http2,
+        }
+    }
+}
+
+/// Style-recalc + first-layout cost paid once before first paint.
+const STYLE_LAYOUT_MS: f64 = 250.0;
+/// Progressive resources paint up to this share from raw bytes; the
+/// rest appears when decoding/layout finishes.
+const PROGRESSIVE_CAP: f64 = 0.9;
+/// The HTML parser works through the document over roughly this long
+/// (main-thread parsing + preload-scanner yield), so subresources are
+/// discovered staggered rather than in one instant — which also
+/// staggers the per-origin initial-window bursts.
+const PARSE_SPREAD_MS: f64 = 350.0;
+
+/// Outcome of one page load.
+#[derive(Clone, Debug)]
+pub struct PageLoadResult {
+    /// The five technical metrics.
+    pub metrics: MetricSet,
+    /// The visual-completeness curve.
+    pub timeline: VisualTimeline,
+    /// Rendered video (when `fps > 0`).
+    pub recording: Option<Recording>,
+    /// Whether every object finished before the horizon.
+    pub complete: bool,
+    /// Page load time (onload) or the horizon when incomplete.
+    pub plt: SimTime,
+    /// Transport retransmissions summed over all connections.
+    pub retransmits: u64,
+    /// Connections opened (= origins contacted).
+    pub connections: u32,
+    /// Per-object completion times.
+    pub object_done: Vec<Option<SimTime>>,
+    /// Trace counters (requests, responses, RTOs, …).
+    pub trace: Trace,
+}
+
+enum Ev {
+    UpTx,
+    DownTx,
+    Deliver(Direction, Packet<Wire>),
+    Wake(u32, u64),
+    Respond(u32, ObjectId),
+    /// Client-side processing of a fully delivered object finished.
+    Processed(ObjectId),
+    /// A deferred (lazy) request's timer expired: issue it now.
+    DeferredRequest(ObjectId),
+    /// Style + first layout done: painting may start.
+    GateOpen,
+}
+
+enum Mux {
+    H1(H1Conn),
+    H2(H2Mux),
+    H3(H3Map),
+}
+
+struct ConnState {
+    conn: Connection,
+    mux: Mux,
+    wake_version: u64,
+}
+
+struct Loader<'a> {
+    site: &'a Website,
+    protocol: Protocol,
+    opts: &'a LoadOptions,
+    q: EventQueue<Ev>,
+    up: Link<Wire>,
+    down: Link<Wire>,
+    conns: Vec<ConnState>,
+    origin_conn: HashMap<u16, u32>,
+    /// HTTP/1.1 connection pools per origin (empty under H2/H3).
+    h1_pools: HashMap<u16, H1Pool>,
+    cfg: pq_transport::StackConfig,
+    think_rng: SimRng,
+    /// Children of each object, sorted by discovery fraction.
+    children: Vec<Vec<(f64, ObjectId)>>,
+    discovered: Vec<bool>,
+    /// Response-stream progress fraction per object.
+    frac: Vec<f64>,
+    /// Delivery finished; processing scheduled.
+    processing: Vec<bool>,
+    done_at: Vec<Option<SimTime>>,
+    n_done: usize,
+    /// Stream bytes expected per object (protocol-specific overheads).
+    expect: Vec<u64>,
+    got: Vec<u64>,
+    /// Current paint contribution per object.
+    contrib: Vec<f64>,
+    timeline: VisualTimeline,
+    vc: f64,
+    gate_open: bool,
+    /// Gate conditions met; style+layout in progress.
+    gate_scheduled: bool,
+    /// Onload instant (set when the last object finishes processing).
+    plt_at: Option<SimTime>,
+    trace: Trace,
+}
+
+/// Load `site` over `net` with `protocol`; `seed` drives every source
+/// of run-to-run variation (random loss, server think jitter).
+pub fn load_page(
+    site: &Website,
+    net: &NetworkConfig,
+    protocol: Protocol,
+    seed: u64,
+    opts: &LoadOptions,
+) -> PageLoadResult {
+    load_page_with_config(site, net, &protocol.config(net), seed, opts)
+}
+
+/// Load with an explicit stack configuration — the knob-by-knob API
+/// behind tuning ablations (e.g. "stock TCP + IW32 only").
+pub fn load_page_with_config(
+    site: &Website,
+    net: &NetworkConfig,
+    cfg: &pq_transport::StackConfig,
+    seed: u64,
+    opts: &LoadOptions,
+) -> PageLoadResult {
+    let protocol = cfg.protocol;
+    let rng = SimRng::new(seed);
+    let n = site.objects.len();
+
+    let mut children: Vec<Vec<(f64, ObjectId)>> = vec![Vec::new(); n];
+    for o in &site.objects {
+        if let Some(parent) = o.discovered_by {
+            children[parent.0 as usize].push((o.discovery_at, o.id));
+        }
+    }
+    for c in &mut children {
+        c.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite fractions"));
+    }
+
+    let expect: Vec<u64> = site
+        .objects
+        .iter()
+        .map(|o| {
+            if protocol.is_quic() {
+                crate::http3::RESPONSE_HEADER + o.size
+            } else if opts.http_version == HttpVersion::Http1 {
+                crate::http1::RESPONSE_HEADER + o.size
+            } else {
+                H2Mux::response_stream_bytes(o.size)
+            }
+        })
+        .collect();
+
+    let mut loader = Loader {
+        site,
+        protocol,
+        opts,
+        q: EventQueue::new(),
+        up: Link::new(net.uplink(), rng.fork("uplink-loss")),
+        down: Link::new(net.downlink(), rng.fork("downlink-loss")),
+        conns: Vec::new(),
+        origin_conn: HashMap::new(),
+        h1_pools: HashMap::new(),
+        cfg: cfg.clone(),
+        think_rng: rng.fork("server-think"),
+        children,
+        discovered: vec![false; n],
+        frac: vec![0.0; n],
+        processing: vec![false; n],
+        done_at: vec![None; n],
+        n_done: 0,
+        expect,
+        got: vec![0; n],
+        contrib: vec![0.0; n],
+        timeline: VisualTimeline::new(),
+        vc: 0.0,
+        gate_open: false,
+        gate_scheduled: false,
+        plt_at: None,
+        trace: Trace::with_capacity(opts.trace_capacity),
+    };
+
+    loader.discover(SimTime::ZERO, ObjectId(0));
+    loader.run()
+}
+
+impl<'a> Loader<'a> {
+    fn obj(&self, id: ObjectId) -> &'a WebObject {
+        &self.site.objects[id.0 as usize]
+    }
+
+    /// An object became discovered: request it (immediately, or after
+    /// its lazy-load deferral).
+    fn discover(&mut self, now: SimTime, id: ObjectId) {
+        let idx = id.0 as usize;
+        if self.discovered[idx] {
+            return;
+        }
+        self.discovered[idx] = true;
+        let o = self.obj(id);
+        // Parser stagger: children of the root document become visible
+        // to the fetcher as the parser reaches them.
+        let stagger = if o.discovered_by == Some(ObjectId(0)) {
+            o.discovery_at * PARSE_SPREAD_MS
+        } else {
+            0.0
+        };
+        let defer = (o.defer_ms + stagger) * self.opts.processing_scale;
+        if defer > 0.0 {
+            self.q.schedule(
+                now + SimDuration::from_secs_f64(defer / 1e3),
+                Ev::DeferredRequest(id),
+            );
+            return;
+        }
+        self.request_object(now, id);
+    }
+
+    /// Issue the request on the origin's connection (opening the
+    /// connection on first use). HTTP/1.1 uses a connection pool.
+    fn request_object(&mut self, now: SimTime, id: ObjectId) {
+        if !self.protocol.is_quic() && self.opts.http_version == HttpVersion::Http1 {
+            self.request_object_h1(now, id);
+            return;
+        }
+        let origin = self.obj(id).origin.0;
+        let ci = match self.origin_conn.get(&origin) {
+            Some(&ci) => ci,
+            None => {
+                let mux = if self.protocol.is_quic() {
+                    Mux::H3(H3Map::new())
+                } else {
+                    Mux::H2(H2Mux::new())
+                };
+                self.open_conn(now, mux)
+            }
+        };
+        self.origin_conn.insert(origin, ci);
+        self.trace.record(now, TraceKind::Request, u64::from(id.0));
+        let state = &mut self.conns[ci as usize];
+        match &mut state.mux {
+            Mux::H1(_) => unreachable!("pool handled above"),
+            Mux::H2(m) => {
+                let Connection::Tcp(c) = &mut state.conn else {
+                    unreachable!("H2 over TCP")
+                };
+                m.request(c, now, id);
+            }
+            Mux::H3(m) => {
+                let Connection::Quic(c) = &mut state.conn else {
+                    unreachable!("H3 over QUIC")
+                };
+                m.request(c, now, id);
+            }
+        }
+        self.pump(now, ci);
+    }
+
+    fn open_conn(&mut self, now: SimTime, mux: Mux) -> u32 {
+        let ci = self.conns.len() as u32;
+        let conn = Connection::open(ConnId(ci), self.cfg.clone(), now);
+        self.conns.push(ConnState {
+            conn,
+            mux,
+            wake_version: 0,
+        });
+        ci
+    }
+
+    /// HTTP/1.1 request dispatch: reuse an idle pooled connection, grow
+    /// the pool up to the browser limit, or queue.
+    fn request_object_h1(&mut self, now: SimTime, id: ObjectId) {
+        let origin = self.obj(id).origin.0;
+        let pool = self.h1_pools.entry(origin).or_default();
+        let idle = pool.conns.iter().copied().find(|&ci| {
+            matches!(&self.conns[ci as usize].mux, Mux::H1(h) if h.is_idle())
+        });
+        let ci = match idle {
+            Some(ci) => ci,
+            None if pool.can_grow() => {
+                let ci = self.conns.len() as u32;
+                self.h1_pools.get_mut(&origin).expect("pool exists").conns.push(ci);
+                self.open_conn(now, Mux::H1(H1Conn::new()))
+            }
+            None => {
+                pool.waiting.push_back(id);
+                return;
+            }
+        };
+        self.trace.record(now, TraceKind::Request, u64::from(id.0));
+        let state = &mut self.conns[ci as usize];
+        let Mux::H1(h) = &mut state.mux else { unreachable!() };
+        let Connection::Tcp(c) = &mut state.conn else {
+            unreachable!("H1 over TCP")
+        };
+        h.request(c, now, id);
+        self.pump(now, ci);
+    }
+
+    /// Drain a connection's outputs, route packets, apply progress, and
+    /// reschedule its wakeup.
+    fn pump(&mut self, now: SimTime, ci: u32) {
+        loop {
+            let state = &mut self.conns[ci as usize];
+            let outputs = state.conn.take_outputs();
+            if outputs.is_empty() {
+                // Let the H2 writer top up the transport.
+                let more = match &mut state.mux {
+                    Mux::H1(_) => false,
+                    Mux::H2(m) => {
+                        if let Connection::Tcp(c) = &mut state.conn {
+                            let before = c.server_backlog();
+                            m.pump(c, now);
+                            c.server_backlog() != before
+                        } else {
+                            false
+                        }
+                    }
+                    Mux::H3(_) => false,
+                };
+                if !more {
+                    break;
+                }
+                continue;
+            }
+            for out in outputs {
+                self.route_output(now, ci, out);
+            }
+        }
+        let state = &mut self.conns[ci as usize];
+        let at = state.conn.poll_at();
+        if at != SimTime::MAX {
+            state.wake_version += 1;
+            self.q
+                .schedule(at.max(now), Ev::Wake(ci, state.wake_version));
+        }
+    }
+
+    fn route_output(&mut self, now: SimTime, ci: u32, out: Output) {
+        match out {
+            Output::Send(dir, pkt) => {
+                let link = match dir {
+                    Direction::Up => &mut self.up,
+                    Direction::Down => &mut self.down,
+                };
+                match link.push(now, pkt) {
+                    PushOutcome::StartedTx(t) => {
+                        let ev = match dir {
+                            Direction::Up => Ev::UpTx,
+                            Direction::Down => Ev::DownTx,
+                        };
+                        self.q.schedule(t, ev);
+                    }
+                    PushOutcome::TailDropped => {
+                        self.trace.record(now, TraceKind::TailDrop, 0);
+                    }
+                    PushOutcome::Queued => {}
+                }
+            }
+            Output::HandshakeDone => {
+                self.trace.record(now, TraceKind::HandshakeDone, u64::from(ci));
+            }
+            Output::ServerStreamProgress { stream, delivered, fin } => {
+                let state = &mut self.conns[ci as usize];
+                let ready: Vec<ObjectId> = match &mut state.mux {
+                    Mux::H1(h) => h.on_server_delivered(delivered).into_iter().collect(),
+                    Mux::H2(m) => m.on_server_delivered(delivered),
+                    Mux::H3(m) => {
+                        if fin {
+                            m.on_server_stream_fin(stream).into_iter().collect()
+                        } else {
+                            Vec::new()
+                        }
+                    }
+                };
+                for obj in ready {
+                    let think = self.opts.think_base_ms
+                        + self.think_rng.exponential(self.opts.think_jitter_ms);
+                    self.q.schedule(
+                        now + SimDuration::from_secs_f64(think / 1e3),
+                        Ev::Respond(ci, obj),
+                    );
+                }
+            }
+            Output::ClientStreamProgress { stream, delivered, fin } => {
+                let state = &mut self.conns[ci as usize];
+                match &mut state.mux {
+                    Mux::H1(h) => {
+                        if let Some(p) = h.on_client_delivered(delivered) {
+                            let idx = p.object.0 as usize;
+                            let got = (crate::http1::RESPONSE_HEADER + p.delivered_body)
+                                .min(self.expect[idx]);
+                            self.object_progress(now, p.object, got.max(self.got[idx]));
+                            if p.done {
+                                // Connection idle: serve the next
+                                // queued request of this origin.
+                                let origin = self.obj(p.object).origin.0;
+                                if let Some(next) = self
+                                    .h1_pools
+                                    .get_mut(&origin)
+                                    .and_then(|pool| pool.waiting.pop_front())
+                                {
+                                    self.request_object_h1(now, next);
+                                }
+                            }
+                        }
+                    }
+                    Mux::H2(m) => {
+                        let progress = m.on_client_delivered(delivered);
+                        for p in progress {
+                            let idx = p.object.0 as usize;
+                            let got = self.got[idx] + p.new_bytes;
+                            self.object_progress(now, p.object, got);
+                        }
+                    }
+                    Mux::H3(m) => {
+                        if let Some(p) = m.on_client_delivered(stream, delivered, fin) {
+                            let idx = p.object.0 as usize;
+                            let got =
+                                (crate::http3::RESPONSE_HEADER + p.delivered_body).min(self.expect[idx]);
+                            self.object_progress(now, p.object, got.max(self.got[idx]));
+                        }
+                    }
+                }
+            }
+            Output::Trace(kind, detail) => {
+                self.trace.record(now, kind, detail);
+            }
+        }
+    }
+
+    /// Client-side processing cost of a fully delivered object: parse
+    /// and execute for scripts/CSS, decode for images — time a real
+    /// browser spends on the main thread, independent of the transport.
+    fn processing_delay(&self, id: ObjectId) -> SimDuration {
+        use crate::object::ObjectKind::*;
+        let o = self.obj(id);
+        let kb = o.size as f64 / 1000.0;
+        let ms = match o.kind {
+            Script => 200.0 + 0.7 * kb,
+            Css => 80.0 + 0.25 * kb,
+            Image => 25.0 + 0.12 * kb,
+            Html => 40.0,
+            Font => 30.0,
+            Xhr => 15.0,
+            Beacon => 2.0,
+        };
+        SimDuration::from_secs_f64(ms * self.opts.processing_scale / 1e3)
+    }
+
+    /// The client has `got` of the object's expected stream bytes.
+    fn object_progress(&mut self, now: SimTime, id: ObjectId, got: u64) {
+        let idx = id.0 as usize;
+        if self.done_at[idx].is_some() {
+            return;
+        }
+        self.got[idx] = got.min(self.expect[idx]);
+        let frac = self.got[idx] as f64 / self.expect[idx].max(1) as f64;
+        self.frac[idx] = frac;
+        let delivered = self.got[idx] >= self.expect[idx];
+        if delivered && !self.processing[idx] {
+            self.processing[idx] = true;
+            self.q
+                .schedule(now + self.processing_delay(id), Ev::Processed(id));
+        }
+
+        self.update_render(now, id, frac, false);
+
+        // Progressive discovery of children referenced part-way
+        // through the parent (`discovery_at = 1.0` waits for the
+        // parent's processing instead).
+        let kids: Vec<ObjectId> = self.children[idx]
+            .iter()
+            .take_while(|(at, _)| *at < 1.0 && frac + 1e-12 >= *at)
+            .map(|&(_, c)| c)
+            .filter(|c| !self.discovered[c.0 as usize])
+            .collect();
+        for kid in kids {
+            self.discover(now, kid);
+        }
+    }
+
+    /// Parsing/decoding of a delivered object finished: the object is
+    /// now *done* — it paints fully, releases `discovery_at = 1.0`
+    /// children, and counts towards onload.
+    fn object_processed(&mut self, now: SimTime, id: ObjectId) {
+        let idx = id.0 as usize;
+        if self.done_at[idx].is_some() {
+            return;
+        }
+        self.done_at[idx] = Some(now);
+        self.n_done += 1;
+        if self.n_done == self.site.objects.len() {
+            self.plt_at = Some(now);
+        }
+        self.trace.record(now, TraceKind::Response, u64::from(id.0));
+        self.update_render(now, id, 1.0, true);
+        let kids: Vec<ObjectId> = self.children[idx]
+            .iter()
+            .filter(|(at, _)| *at >= 1.0)
+            .map(|&(_, c)| c)
+            .filter(|c| !self.discovered[c.0 as usize])
+            .collect();
+        for kid in kids {
+            self.discover(now, kid);
+        }
+    }
+
+    fn update_render(&mut self, now: SimTime, id: ObjectId, frac: f64, done: bool) {
+        let o = self.obj(id);
+        // Contribution of this object to visual completeness.
+        // Progressive resources paint most of their area from raw
+        // bytes, the rest once decoded; others appear when done.
+        let contrib = if o.render_weight > 0.0 {
+            if done {
+                o.render_weight
+            } else if o.progressive {
+                o.render_weight * (frac * PROGRESSIVE_CAP)
+            } else {
+                0.0
+            }
+        } else {
+            0.0
+        };
+        // Incremental VC update.
+        let prev_contrib = self.contrib[id.0 as usize];
+        let delta = contrib - prev_contrib;
+        self.vc += delta;
+        self.contrib[id.0 as usize] = contrib;
+
+        // First-paint gate: head parsed + render-blocking resources
+        // processed, then one style+layout pass.
+        if !self.gate_open && !self.gate_scheduled {
+            let head_parsed = self.frac[0] >= 0.15;
+            let blocking_done = self
+                .site
+                .objects
+                .iter()
+                .filter(|o| o.render_blocking)
+                .all(|o| self.done_at[o.id.0 as usize].is_some());
+            if head_parsed && blocking_done {
+                self.gate_scheduled = true;
+                let layout = SimDuration::from_secs_f64(
+                    STYLE_LAYOUT_MS * self.opts.processing_scale / 1e3,
+                );
+                self.q.schedule(now + layout, Ev::GateOpen);
+            }
+        } else if self.gate_open && delta > 0.0 {
+            self.timeline.push(now, self.vc);
+        }
+    }
+
+    fn run(mut self) -> PageLoadResult {
+        let horizon = SimTime::ZERO + self.opts.horizon;
+        let max_events = 200_000_000u64;
+
+        // Run until onload fired AND the first-paint gate opened (the
+        // gate's layout event can be scheduled past the last object on
+        // small fast pages).
+        while self.plt_at.is_none() || !self.gate_open {
+            let Some(t) = self.q.peek_time() else { break };
+            if t > horizon || self.q.processed() > max_events {
+                break;
+            }
+            let (now, ev) = self.q.pop().expect("peeked");
+            match ev {
+                Ev::UpTx => {
+                    let txd = self.up.on_tx_done(now);
+                    if let Some((at, pkt)) = txd.delivery {
+                        self.q.schedule(at, Ev::Deliver(Direction::Up, pkt));
+                    } else {
+                        self.trace.record(now, TraceKind::RandomLoss, 0);
+                    }
+                    if let Some(next) = txd.next_tx_done {
+                        self.q.schedule(next, Ev::UpTx);
+                    }
+                }
+                Ev::DownTx => {
+                    let txd = self.down.on_tx_done(now);
+                    if let Some((at, pkt)) = txd.delivery {
+                        self.q.schedule(at, Ev::Deliver(Direction::Down, pkt));
+                    } else {
+                        self.trace.record(now, TraceKind::RandomLoss, 0);
+                    }
+                    if let Some(next) = txd.next_tx_done {
+                        self.q.schedule(next, Ev::DownTx);
+                    }
+                }
+                Ev::Deliver(dir, pkt) => {
+                    let ci = pkt.conn.0;
+                    if let Some(state) = self.conns.get_mut(ci as usize) {
+                        state.conn.on_packet(now, &pkt.payload, dir);
+                        self.pump(now, ci);
+                    }
+                }
+                Ev::Wake(ci, version) => {
+                    let state = &mut self.conns[ci as usize];
+                    if state.wake_version == version {
+                        state.conn.on_wake(now);
+                        self.pump(now, ci);
+                    }
+                }
+                Ev::Processed(id) => {
+                    self.object_processed(now, id);
+                }
+                Ev::DeferredRequest(id) => {
+                    self.request_object(now, id);
+                }
+                Ev::GateOpen => {
+                    self.gate_open = true;
+                    if self.vc > 0.0 {
+                        self.timeline.push(now, self.vc);
+                    }
+                }
+                Ev::Respond(ci, obj) => {
+                    let body = self.obj(obj).size;
+                    let state = &mut self.conns[ci as usize];
+                    match &mut state.mux {
+                        Mux::H1(h) => {
+                            let Connection::Tcp(c) = &mut state.conn else {
+                                unreachable!()
+                            };
+                            h.respond(c, now, body);
+                        }
+                        Mux::H2(m) => {
+                            let Connection::Tcp(c) = &mut state.conn else {
+                                unreachable!()
+                            };
+                            m.respond(c, now, obj, body);
+                        }
+                        Mux::H3(m) => {
+                            let Connection::Quic(c) = &mut state.conn else {
+                                unreachable!()
+                            };
+                            m.respond(c, now, obj, body);
+                        }
+                    }
+                    self.pump(now, ci);
+                }
+            }
+        }
+
+        let complete = self.plt_at.is_some();
+        // Onload in practice does not fire before the final paint
+        // flush; clamp PLT to the last visual change.
+        let last_paint = self.timeline.last_change().unwrap_or(SimTime::ZERO);
+        let plt = self
+            .plt_at
+            .unwrap_or_else(|| self.q.now().min(horizon))
+            .max(last_paint);
+        let metrics = MetricSet::from_timeline(&self.timeline, plt);
+        let recording = (self.opts.fps > 0)
+            .then(|| Recording::render(&self.timeline, plt, self.opts.fps));
+        PageLoadResult {
+            metrics,
+            recording,
+            complete,
+            plt,
+            retransmits: self.conns.iter().map(|c| c.conn.retransmits()).sum(),
+            connections: self.conns.len() as u32,
+            object_done: self.done_at,
+            trace: self.trace,
+            timeline: self.timeline,
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! # pq-web — websites, HTTP layers and the browser model
+//!
+//! The workload layer of the *Perceiving QUIC* reproduction: a
+//! 36-site corpus mirroring the paper's Alexa/Moz-derived selection
+//! (multi-origin, wide size spread), HTTP/2-over-TCP and
+//! HTTP-over-gQUIC mappings, and a progressive-rendering browser that
+//! loads a site through the emulated access link and produces the
+//! visual timeline the metrics crate consumes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod browser;
+pub mod catalogue;
+pub mod http1;
+pub mod http2;
+pub mod http3;
+pub mod object;
+pub mod website;
+
+pub use browser::{load_page, load_page_with_config, HttpVersion, LoadOptions, PageLoadResult};
+pub use catalogue::{corpus, corpus_specs, site, CORPUS_SIZE, LAB_SITES};
+pub use object::{ObjectId, ObjectKind, WebObject};
+pub use website::{SiteSpec, Website};
+
+#[cfg(test)]
+mod browser_tests;

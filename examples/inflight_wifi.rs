@@ -1,0 +1,69 @@
+//! Explore the two "bad" in-flight WiFi networks (DA2GC and MSS, from
+//! Rula et al.): where the paper finds QUIC's protocol design actually
+//! matters. Prints per-site Speed Index medians and retransmission
+//! counts, reproducing the §4.3 diagnosis that TCP+'s IW32 overshoots
+//! the tiny DA2GC BDP while QUIC recovers losses better.
+//!
+//! ```sh
+//! cargo run --release --example inflight_wifi
+//! ```
+
+use perceiving_quic::prelude::*;
+
+fn median(mut v: Vec<f64>) -> f64 {
+    v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    v[v.len() / 2]
+}
+
+fn main() {
+    let sites = ["apache.org", "wordpress.com", "gov.uk", "spotify.com", "etsy.com"];
+    let opts = LoadOptions::default();
+    let runs = 7u64;
+
+    for kind in [NetworkKind::Da2gc, NetworkKind::Mss] {
+        let net = kind.config();
+        println!(
+            "=== {} ({} Mbps, {:.0} ms RTT, {:.1}% loss, BDP {} kB) ===",
+            kind.name(),
+            net.down_bps as f64 / 1e6,
+            net.min_rtt.as_millis_f64(),
+            net.loss * 100.0,
+            net.bdp_bytes() / 1000
+        );
+        println!(
+            "{:<16} {:>12} {:>12} {:>12} | {:>10} {:>10}",
+            "site", "TCP SI", "TCP+ SI", "QUIC SI", "TCP+ retx", "QUIC retx"
+        );
+        for name in sites {
+            let site = web::site(name).expect("corpus site");
+            let si = |p: Protocol| {
+                median(
+                    (0..runs)
+                        .map(|s| load_page(&site, &net, p, 100 + s, &opts).metrics.si_ms)
+                        .collect(),
+                )
+            };
+            let (tcp, plus, quic) = (si(Protocol::Tcp), si(Protocol::TcpPlus), si(Protocol::Quic));
+            let retx = |p: Protocol| {
+                (0..runs)
+                    .map(|s| load_page(&site, &net, p, 100 + s, &opts).retransmits)
+                    .sum::<u64>() as f64
+                    / runs as f64
+            };
+            println!(
+                "{:<16} {:>10.1}s {:>10.1}s {:>10.1}s | {:>10.0} {:>10.0}",
+                name,
+                tcp / 1000.0,
+                plus / 1000.0,
+                quic / 1000.0,
+                retx(Protocol::TcpPlus),
+                retx(Protocol::Quic),
+            );
+        }
+        println!();
+    }
+    println!("Paper §4.3: on DA2GC, TCP+ retransmits more than stock TCP (IW32");
+    println!("bursts into a ~15 kB BDP) and users prefer plain TCP; QUIC does not");
+    println!("suffer the same way. On MSS the higher bandwidth reverses TCP+ vs");
+    println!("TCP, and QUIC pulls further ahead.");
+}

@@ -1,0 +1,53 @@
+//! Quickstart: load one website over every network × protocol
+//! combination and print the technical metrics — the smallest useful
+//! tour of the testbed.
+//!
+//! ```sh
+//! cargo run --release --example quickstart [site]
+//! ```
+
+use perceiving_quic::prelude::*;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "wikipedia.org".into());
+    let Some(site) = web::site(&name) else {
+        eprintln!("unknown site {name:?}; try one of:");
+        for s in web::corpus_specs() {
+            eprintln!("  {}", s.name);
+        }
+        std::process::exit(1);
+    };
+    println!(
+        "{name}: {} objects, {:.0} kB, {} origins\n",
+        site.object_count(),
+        site.total_bytes() as f64 / 1000.0,
+        site.origins
+    );
+
+    println!(
+        "{:<8} {:<9} {:>8} {:>8} {:>8} {:>8} {:>8} {:>6} {:>6}",
+        "network", "protocol", "FVC", "SI", "VC85", "LVC", "PLT", "retx", "conns"
+    );
+    for kind in NetworkKind::ALL {
+        let net = kind.config();
+        for proto in Protocol::ALL {
+            let r = load_page(&site, &net, proto, 7, &LoadOptions::default());
+            let m = r.metrics;
+            println!(
+                "{:<8} {:<9} {:>7.0}ms {:>7.0}ms {:>7.0}ms {:>7.0}ms {:>7.0}ms {:>6} {:>6}",
+                kind.name(),
+                proto.label(),
+                m.fvc_ms,
+                m.si_ms,
+                m.vc85_ms,
+                m.lvc_ms,
+                m.plt_ms,
+                r.retransmits,
+                r.connections,
+            );
+        }
+        println!();
+    }
+    println!("(FVC/SI/…: first visual change, Speed Index, 85% visual completeness,");
+    println!(" last visual change, page load time — the paper's five metrics)");
+}

@@ -1,0 +1,56 @@
+//! Three generations of the Web stack on one page: HTTP/1.1 (six
+//! connections per origin, no multiplexing), HTTP/2 over tuned TCP
+//! (the paper's TCP+ side) and HTTP-over-gQUIC — the evolution the
+//! paper's introduction sketches, measured in one table.
+//!
+//! ```sh
+//! cargo run --release --example web_evolution
+//! ```
+
+use perceiving_quic::prelude::*;
+use perceiving_quic::web::HttpVersion;
+
+fn median(mut v: Vec<f64>) -> f64 {
+    v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    v[v.len() / 2]
+}
+
+fn main() {
+    let sites = ["apache.org", "gov.uk", "etsy.com"];
+    let runs = 7u64;
+
+    for kind in [NetworkKind::Dsl, NetworkKind::Lte, NetworkKind::Da2gc] {
+        let net = kind.config();
+        println!("=== {} ===", kind.name());
+        println!(
+            "{:<14} {:>22} {:>22} {:>22}",
+            "site", "HTTP/1.1 (TCP+)", "HTTP/2 (TCP+)", "HTTP/3-style (QUIC)"
+        );
+        for name in sites {
+            let site = web::site(name).expect("corpus site");
+            let measure = |proto: Protocol, version: HttpVersion| {
+                let opts = LoadOptions {
+                    http_version: version,
+                    ..LoadOptions::default()
+                };
+                let si = median(
+                    (0..runs)
+                        .map(|s| load_page(&site, &net, proto, 500 + s, &opts).metrics.si_ms)
+                        .collect(),
+                );
+                let conns = load_page(&site, &net, proto, 500, &opts).connections;
+                (si, conns)
+            };
+            let h1 = measure(Protocol::TcpPlus, HttpVersion::Http1);
+            let h2 = measure(Protocol::TcpPlus, HttpVersion::Http2);
+            let h3 = measure(Protocol::Quic, HttpVersion::Http2);
+            println!(
+                "{:<14} {:>11.0}ms ({:>3}c) {:>11.0}ms ({:>3}c) {:>11.0}ms ({:>3}c)",
+                name, h1.0, h1.1, h2.0, h2.1, h3.0, h3.1
+            );
+        }
+        println!();
+    }
+    println!("(SI medians over 7 runs; 'c' = connections opened. Each generation");
+    println!(" sheds handshakes: H1's pool → H2's one per origin → QUIC's 1-RTT.)");
+}

@@ -1,0 +1,110 @@
+//! Failure-injection integration tests: the pipeline must stay
+//! correct (not just fast) under pathological network conditions.
+
+use perceiving_quic::prelude::*;
+use perceiving_quic::sim::NetworkConfig;
+
+fn custom_net(up_bps: u64, down_bps: u64, rtt_ms: u64, loss: f64, queue_ms: u64) -> NetworkConfig {
+    NetworkConfig {
+        kind: NetworkKind::Mss, // label only
+        up_bps,
+        down_bps,
+        min_rtt: SimDuration::from_millis(rtt_ms),
+        loss,
+        queue_ms,
+    }
+}
+
+#[test]
+fn extreme_loss_still_completes() {
+    // 20 % loss each way: far beyond the paper's networks.
+    let net = custom_net(1_000_000, 2_000_000, 200, 0.20, 200);
+    let site = web::site("apache.org").unwrap();
+    for proto in [Protocol::Tcp, Protocol::TcpPlus, Protocol::Quic] {
+        let opts = LoadOptions {
+            horizon: SimDuration::from_secs(600),
+            ..LoadOptions::default()
+        };
+        let r = load_page(&site, &net, proto, 3, &opts);
+        assert!(r.complete, "{} did not survive 20% loss", proto.label());
+        assert!(r.retransmits > 0);
+        assert!(r.metrics.well_ordered(), "{}: {:?}", proto.label(), r.metrics);
+    }
+}
+
+#[test]
+fn tiny_queue_forces_drops_but_not_livelock() {
+    // A 1 ms queue at 10 Mbps ≈ one packet of buffer.
+    let net = custom_net(2_000_000, 10_000_000, 40, 0.0, 1);
+    let site = web::site("gov.uk").unwrap();
+    for proto in [Protocol::Tcp, Protocol::Quic] {
+        let r = load_page(&site, &net, proto, 5, &LoadOptions::default());
+        assert!(r.complete, "{}: starved by a one-packet queue", proto.label());
+    }
+}
+
+#[test]
+fn very_slow_link_makes_progress() {
+    // 64 kbit/s modem territory with satellite latency.
+    let net = custom_net(64_000, 64_000, 1200, 0.02, 400);
+    let site = web::site("apache.org").unwrap();
+    let opts = LoadOptions {
+        horizon: SimDuration::from_secs(3600),
+        ..LoadOptions::default()
+    };
+    let r = load_page(&site, &net, Protocol::Quic, 7, &opts);
+    assert!(r.complete, "modem load incomplete");
+    // ~110 kB over 64 kbps ≈ ≥ 14 s.
+    assert!(r.metrics.plt_ms > 10_000.0, "plt {:?}", r.metrics.plt_ms);
+}
+
+#[test]
+fn horizon_cut_produces_partial_but_sane_metrics() {
+    // Horizon far too small for MSS: the load must report incomplete
+    // with monotone partial metrics instead of hanging or panicking.
+    let net = NetworkKind::Mss.config();
+    let site = web::site("nytimes.com").unwrap();
+    let opts = LoadOptions {
+        horizon: SimDuration::from_secs(3),
+        ..LoadOptions::default()
+    };
+    let r = load_page(&site, &net, Protocol::TcpPlus, 9, &opts);
+    assert!(!r.complete);
+    assert!(r.plt <= SimTime::from_secs(4));
+    assert!(r.metrics.fvc_ms <= r.metrics.lvc_ms + 1e-6);
+}
+
+#[test]
+fn zero_processing_ablation_still_works() {
+    let net = NetworkKind::Dsl.config();
+    let site = web::site("wikipedia.org").unwrap();
+    let opts = LoadOptions {
+        processing_scale: 0.0,
+        ..LoadOptions::default()
+    };
+    let with = load_page(&site, &net, Protocol::Quic, 11, &LoadOptions::default());
+    let without = load_page(&site, &net, Protocol::Quic, 11, &opts);
+    assert!(without.complete);
+    assert!(
+        without.metrics.si_ms < with.metrics.si_ms,
+        "client processing must add time: {} !< {}",
+        without.metrics.si_ms,
+        with.metrics.si_ms
+    );
+}
+
+#[test]
+fn asymmetric_uplink_starvation() {
+    // A nearly-dead uplink (16 kbps) chokes requests and ACKs; loads
+    // must still finish.
+    let net = custom_net(16_000, 5_000_000, 100, 0.0, 300);
+    let site = web::site("wordpress.com").unwrap();
+    let opts = LoadOptions {
+        horizon: SimDuration::from_secs(600),
+        ..LoadOptions::default()
+    };
+    for proto in [Protocol::TcpPlus, Protocol::Quic] {
+        let r = load_page(&site, &net, proto, 13, &opts);
+        assert!(r.complete, "{}: uplink starvation", proto.label());
+    }
+}
