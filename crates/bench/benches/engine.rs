@@ -3,7 +3,9 @@
 //! experiment runs millions of times.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
-use pq_sim::{ConnId, EventQueue, Link, LinkConfig, Packet, PushOutcome, SimDuration, SimRng, SimTime};
+use pq_sim::{
+    ConnId, EventQueue, Link, LinkConfig, Packet, PushOutcome, SimDuration, SimRng, SimTime,
+};
 use pq_transport::RangeSet;
 
 fn bench_event_queue(c: &mut Criterion) {
@@ -90,12 +92,7 @@ fn bench_link(c: &mut Criterion) {
     g.throughput(Throughput::Elements(10_000));
     g.bench_function("saturated_10k_packets", |b| {
         b.iter(|| {
-            let cfg = LinkConfig::with_queue_ms(
-                25_000_000,
-                SimDuration::from_millis(12),
-                0.0,
-                200,
-            );
+            let cfg = LinkConfig::with_queue_ms(25_000_000, SimDuration::from_millis(12), 0.0, 200);
             let mut link: Link<u32> = Link::new(cfg, SimRng::new(5));
             let mut now = SimTime::ZERO;
             let mut next = match link.push(now, Packet::new(ConnId(0), 1500, 0)) {
@@ -110,7 +107,9 @@ fn bench_link(c: &mut Criterion) {
                 if txd.delivery.is_some() {
                     delivered += 1;
                 }
-                next = txd.next_tx_done.unwrap_or(now + SimDuration::from_millis(1));
+                next = txd
+                    .next_tx_done
+                    .unwrap_or(now + SimDuration::from_millis(1));
             }
             delivered
         })
@@ -118,5 +117,11 @@ fn bench_link(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_event_queue, bench_rng, bench_rangeset, bench_link);
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_rng,
+    bench_rangeset,
+    bench_link
+);
 criterion_main!(benches);

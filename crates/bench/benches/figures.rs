@@ -6,8 +6,8 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use pq_sim::NetworkKind;
 use pq_study::{
-    ab_shares, anova_across_protocols, fig3_agreement, metric_correlation, population,
-    run_study, Environment, Funnel, Group, StimulusSet, StudyKind,
+    ab_shares, anova_across_protocols, fig3_agreement, metric_correlation, population, run_study,
+    Environment, Funnel, Group, StimulusSet, StudyKind,
 };
 use pq_transport::Protocol;
 use pq_web::{catalogue, Website};

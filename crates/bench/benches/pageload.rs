@@ -14,13 +14,17 @@ fn bench_pageload_protocols(c: &mut Criterion) {
     let opts = LoadOptions::default();
     let mut g = c.benchmark_group("pageload_dsl_wikipedia");
     for proto in Protocol::ALL {
-        g.bench_with_input(BenchmarkId::from_parameter(proto.label()), &proto, |b, &p| {
-            let mut seed = 0;
-            b.iter(|| {
-                seed += 1;
-                load_page(&site, &net, p, seed, &opts).metrics.plt_ms
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(proto.label()),
+            &proto,
+            |b, &p| {
+                let mut seed = 0;
+                b.iter(|| {
+                    seed += 1;
+                    load_page(&site, &net, p, seed, &opts).metrics.plt_ms
+                })
+            },
+        );
     }
     g.finish();
 }
@@ -36,7 +40,9 @@ fn bench_pageload_networks(c: &mut Criterion) {
             let mut seed = 0;
             b.iter(|| {
                 seed += 1;
-                load_page(&site, net, Protocol::Quic, seed, &opts).metrics.plt_ms
+                load_page(&site, net, Protocol::Quic, seed, &opts)
+                    .metrics
+                    .plt_ms
             })
         });
     }
@@ -54,7 +60,9 @@ fn bench_pageload_site_sizes(c: &mut Criterion) {
             let mut seed = 0;
             b.iter(|| {
                 seed += 1;
-                load_page(site, &net, Protocol::TcpPlus, seed, &opts).metrics.plt_ms
+                load_page(site, &net, Protocol::TcpPlus, seed, &opts)
+                    .metrics
+                    .plt_ms
             })
         });
     }

@@ -1,6 +1,8 @@
 //! Design-choice ablations: conformance filtering value and session accounting.
 
 fn main() {
+    pq_obs::init_from_env();
     let e = pq_bench::run_experiment_from_env("ablation");
     pq_bench::report::print_ablation(&e);
+    pq_obs::flush_to_env();
 }

@@ -1,6 +1,8 @@
 //! Regenerates the section 4.2 agreement statistics (answer times, replays, demographics).
 
 fn main() {
+    pq_obs::init_from_env();
     let e = pq_bench::run_experiment_from_env("agreement");
     pq_bench::report::print_agreement(&e);
+    pq_obs::flush_to_env();
 }

@@ -6,97 +6,126 @@
 //! PQ_SCALE=reduced cargo run --release -p pq-bench --bin export -- out.json
 //! ```
 
-use serde_json::json;
+use pq_obs::json::Value;
 
 fn main() {
+    pq_obs::init_from_env();
     let path = std::env::args()
         .nth(1)
         .unwrap_or_else(|| "study_data.json".into());
     let e = pq_bench::run_experiment_from_env("export");
 
-    let ab: Vec<_> = e
+    let ab: Vec<Value> = e
         .data
         .ab
         .iter()
         .map(|v| {
-            json!({
-                "group": v.group.name(),
-                "participant": v.participant,
-                "site": e.stimuli.site_names[v.site as usize],
-                "network": v.network.name(),
-                "pair": [v.pair.0.label(), v.pair.1.label()],
-                "choice": match v.choice {
-                    pq_study::AbChoice::First => "first",
-                    pq_study::AbChoice::NoDifference => "no_difference",
-                    pq_study::AbChoice::Second => "second",
-                },
-                "confidence": v.confidence,
-                "replays": v.replays,
-                "valid": v.valid,
-            })
+            Value::obj()
+                .with("group", v.group.name())
+                .with("participant", v.participant)
+                .with("site", e.stimuli.site_names[v.site as usize].as_str())
+                .with("network", v.network.name())
+                .with(
+                    "pair",
+                    vec![Value::from(v.pair.0.label()), Value::from(v.pair.1.label())],
+                )
+                .with(
+                    "choice",
+                    match v.choice {
+                        pq_study::AbChoice::First => "first",
+                        pq_study::AbChoice::NoDifference => "no_difference",
+                        pq_study::AbChoice::Second => "second",
+                    },
+                )
+                .with("confidence", v.confidence)
+                .with("replays", u64::from(v.replays))
+                .with("valid", v.valid)
         })
         .collect();
 
-    let ratings: Vec<_> = e
+    let ratings: Vec<Value> = e
         .data
         .ratings
         .iter()
         .map(|v| {
-            json!({
-                "group": v.group.name(),
-                "participant": v.participant,
-                "site": e.stimuli.site_names[v.site as usize],
-                "network": v.network.name(),
-                "protocol": v.protocol.label(),
-                "environment": v.environment.name(),
-                "speed": v.speed,
-                "quality": v.quality,
-                "valid": v.valid,
-            })
+            Value::obj()
+                .with("group", v.group.name())
+                .with("participant", v.participant)
+                .with("site", e.stimuli.site_names[v.site as usize].as_str())
+                .with("network", v.network.name())
+                .with("protocol", v.protocol.label())
+                .with("environment", v.environment.name())
+                .with("speed", v.speed)
+                .with("quality", v.quality)
+                .with("valid", v.valid)
         })
         .collect();
 
-    let stimuli: Vec<_> = e
+    let stimuli: Vec<Value> = e
         .stimuli
         .iter()
         .map(|s| {
-            json!({
-                "site": e.stimuli.site_names[s.condition.site as usize],
-                "network": s.condition.network.name(),
-                "protocol": s.condition.protocol.label(),
-                "runs": s.runs,
-                "fvc_ms": s.metrics.fvc_ms,
-                "si_ms": s.metrics.si_ms,
-                "vc85_ms": s.metrics.vc85_ms,
-                "lvc_ms": s.metrics.lvc_ms,
-                "plt_ms": s.metrics.plt_ms,
-                "mean_plt_ms": s.mean_plt_ms,
-                "mean_retransmits": s.mean_retransmits,
-            })
+            Value::obj()
+                .with(
+                    "site",
+                    e.stimuli.site_names[s.condition.site as usize].as_str(),
+                )
+                .with("network", s.condition.network.name())
+                .with("protocol", s.condition.protocol.label())
+                .with("runs", s.runs as u64)
+                .with("fvc_ms", s.metrics.fvc_ms)
+                .with("si_ms", s.metrics.si_ms)
+                .with("vc85_ms", s.metrics.vc85_ms)
+                .with("lvc_ms", s.metrics.lvc_ms)
+                .with("plt_ms", s.metrics.plt_ms)
+                .with("mean_plt_ms", s.mean_plt_ms)
+                .with("mean_retransmits", s.mean_retransmits)
         })
         .collect();
 
-    let funnel = |f: &pq_study::Funnel| json!({"recruited": f.recruited, "after": f.after});
-    let doc = json!({
-        "paper": "Perceiving QUIC: Do Users Notice or Even Care? (CoNEXT 2019)",
-        "generator": "perceiving-quic reproduction",
-        "scale": e.scale.label(),
-        "seed": e.seed,
-        "funnels": {
-            "ab": e.data.funnel_ab.iter().map(funnel).collect::<Vec<_>>(),
-            "rating": e.data.funnel_rating.iter().map(funnel).collect::<Vec<_>>(),
-        },
-        "stimuli": stimuli,
-        "ab_votes": ab,
-        "rating_votes": ratings,
-    });
+    let funnel = |f: &pq_study::Funnel| {
+        Value::obj().with("recruited", u64::from(f.recruited)).with(
+            "after",
+            f.after
+                .iter()
+                .map(|&n| Value::from(u64::from(n)))
+                .collect::<Vec<Value>>(),
+        )
+    };
+    let doc = Value::obj()
+        .with(
+            "paper",
+            "Perceiving QUIC: Do Users Notice or Even Care? (CoNEXT 2019)",
+        )
+        .with("generator", "perceiving-quic reproduction")
+        .with("scale", e.scale.label())
+        .with("seed", e.seed)
+        .with(
+            "funnels",
+            Value::obj()
+                .with(
+                    "ab",
+                    e.data.funnel_ab.iter().map(funnel).collect::<Vec<Value>>(),
+                )
+                .with(
+                    "rating",
+                    e.data
+                        .funnel_rating
+                        .iter()
+                        .map(funnel)
+                        .collect::<Vec<Value>>(),
+                ),
+        )
+        .with("stimuli", stimuli)
+        .with("ab_votes", ab)
+        .with("rating_votes", ratings);
 
-    std::fs::write(&path, serde_json::to_string_pretty(&doc).expect("serializable"))
-        .expect("write output file");
+    std::fs::write(&path, doc.to_pretty()).expect("write output file");
     eprintln!(
         "[export] wrote {path}: {} A/B votes, {} ratings, {} stimuli",
         e.data.ab.len(),
         e.data.ratings.len(),
         e.stimuli.iter().count()
     );
+    pq_obs::flush_to_env();
 }

@@ -1,6 +1,8 @@
 //! Regenerates Figure 3 (rating agreement across subject groups).
 
 fn main() {
+    pq_obs::init_from_env();
     let e = pq_bench::run_experiment_from_env("fig3");
     pq_bench::report::print_fig3(&e);
+    pq_obs::flush_to_env();
 }

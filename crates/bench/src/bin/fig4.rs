@@ -1,6 +1,8 @@
 //! Regenerates Figure 4 (A/B study vote shares per pair and network).
 
 fn main() {
+    pq_obs::init_from_env();
     let e = pq_bench::run_experiment_from_env("fig4");
     pq_bench::report::print_fig4(&e);
+    pq_obs::flush_to_env();
 }

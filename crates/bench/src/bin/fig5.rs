@@ -1,6 +1,8 @@
 //! Regenerates Figure 5 (rating means, CIs and ANOVA significance).
 
 fn main() {
+    pq_obs::init_from_env();
     let e = pq_bench::run_experiment_from_env("fig5");
     pq_bench::report::print_fig5(&e);
+    pq_obs::flush_to_env();
 }

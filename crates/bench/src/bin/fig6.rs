@@ -1,6 +1,8 @@
 //! Regenerates Figure 6 (Pearson metric-vote correlation heatmap).
 
 fn main() {
+    pq_obs::init_from_env();
     let e = pq_bench::run_experiment_from_env("fig6");
     pq_bench::report::print_fig6(&e);
+    pq_obs::flush_to_env();
 }

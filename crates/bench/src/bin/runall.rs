@@ -1,15 +1,34 @@
 //! Runs every table and figure regenerator in paper order, sharing a
-//! single experiment execution.
+//! single experiment execution, then writes the machine-readable run
+//! manifest (`results/manifest.json`) and the phase-timing regression
+//! baseline (`results/BENCH_obs.json`).
+
+use pq_bench::manifest::{bench_obs_json, write_json, Manifest};
+use pq_bench::report;
 
 fn main() {
-    pq_bench::report::print_table1();
-    pq_bench::report::print_table2();
-    let e = pq_bench::run_experiment_from_env("runall");
-    pq_bench::report::print_table3(&e);
-    pq_bench::report::print_fig3(&e);
-    pq_bench::report::print_fig4(&e);
-    pq_bench::report::print_fig5(&e);
-    pq_bench::report::print_fig6(&e);
-    pq_bench::report::print_agreement(&e);
-    pq_bench::report::print_ablation(&e);
+    pq_obs::init_from_env();
+    let mut timer = pq_obs::PhaseTimer::new();
+    timer.phase("table1", report::print_table1);
+    timer.phase("table2", report::print_table2);
+    let e = timer.phase("experiment", || pq_bench::run_experiment_from_env("runall"));
+    timer.phase("table3", || report::print_table3(&e));
+    timer.phase("fig3", || report::print_fig3(&e));
+    timer.phase("fig4", || report::print_fig4(&e));
+    timer.phase("fig5", || report::print_fig5(&e));
+    timer.phase("fig6", || report::print_fig6(&e));
+    timer.phase("agreement", || report::print_agreement(&e));
+    timer.phase("ablation", || report::print_ablation(&e));
+
+    let manifest = Manifest::collect(&e, &timer);
+    match manifest.write("results/manifest.json") {
+        Ok(()) => eprintln!("[runall] wrote results/manifest.json"),
+        Err(err) => eprintln!("[runall] failed to write manifest: {err}"),
+    }
+    let bench = bench_obs_json(&timer, e.scale.label(), e.seed);
+    match write_json("results/BENCH_obs.json", &bench) {
+        Ok(()) => eprintln!("[runall] wrote results/BENCH_obs.json"),
+        Err(err) => eprintln!("[runall] failed to write BENCH_obs.json: {err}"),
+    }
+    pq_obs::flush_to_env();
 }

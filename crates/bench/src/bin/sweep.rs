@@ -47,11 +47,16 @@ fn cell(ratio: f64) -> String {
 }
 
 fn main() {
+    pq_obs::init_from_env();
     let site = catalogue::site("gov.uk").expect("corpus site");
-    println!("median SI(TCP+) / SI(QUIC) for gov.uk  (*: QUIC side of the ~7.5% JND, !: TCP+ side)\n");
+    println!(
+        "median SI(TCP+) / SI(QUIC) for gov.uk  (*: QUIC side of the ~7.5% JND, !: TCP+ side)\n"
+    );
 
     println!("— bandwidth × loss (RTT 100 ms, queue 200 ms) —");
-    let bands = [500_000u64, 1_000_000, 2_000_000, 5_000_000, 10_000_000, 25_000_000];
+    let bands = [
+        500_000u64, 1_000_000, 2_000_000, 5_000_000, 10_000_000, 25_000_000,
+    ];
     let losses = [0.0, 0.01, 0.02, 0.04, 0.06];
     print!("{:>10}", "down\\loss");
     for l in losses {
@@ -97,4 +102,5 @@ fn main() {
     println!("\nExpected shape (paper takeaway): the ratio grows down-and-right");
     println!("(slower, lossier) and with RTT — QUIC's 1-RTT handshake and loss");
     println!("recovery matter most exactly where networks are worst.");
+    pq_obs::flush_to_env();
 }

@@ -1,5 +1,7 @@
 //! Regenerates Table 1 (protocol configurations).
 
 fn main() {
+    pq_obs::init_from_env();
     pq_bench::report::print_table1();
+    pq_obs::flush_to_env();
 }

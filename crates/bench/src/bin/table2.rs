@@ -1,5 +1,7 @@
 //! Regenerates Table 2 (network configurations) and validates the emulation against it.
 
 fn main() {
+    pq_obs::init_from_env();
     pq_bench::report::print_table2();
+    pq_obs::flush_to_env();
 }

@@ -1,6 +1,8 @@
 //! Regenerates Table 3 (participation and conformance-filter funnel).
 
 fn main() {
+    pq_obs::init_from_env();
     let e = pq_bench::run_experiment_from_env("table3");
     pq_bench::report::print_table3(&e);
+    pq_obs::flush_to_env();
 }

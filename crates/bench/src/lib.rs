@@ -21,10 +21,40 @@
 //! The experiment scale is controlled with `PQ_SCALE`
 //! (`smoke` / `reduced` / `full`) and `PQ_SEED`; `full` matches the
 //! paper (36 sites × 4 networks × 5 stacks × 31 runs).
+//!
+//! ## Observability
+//!
+//! Every binary initialises [`pq_obs`] from the environment:
+//!
+//! * `PQ_TRACE` — trace level (`off`/`error`/`warn`/`info`/`debug`/
+//!   `trace`; default `off`). At `info` each page load records its
+//!   waterfall: per-object request→processed spans, one track per
+//!   connection with cwnd/ssthresh/sRTT counters, retransmit and RTO
+//!   instants, handshake spans, and FVC/LVC/PLT markers.
+//! * `PQ_TRACE_OUT` — where to write the collected events on exit:
+//!   `*.json` produces Chrome trace-event format (open in Perfetto or
+//!   `chrome://tracing`), `*.jsonl` line-delimited JSON.
+//! * `PQ_TRACE_BUF` — ring capacity in events (default 262144; the
+//!   ring overwrites oldest on overflow).
+//!
+//! Worked waterfall example:
+//!
+//! ```sh
+//! PQ_SCALE=smoke PQ_TRACE=info PQ_TRACE_OUT=results/trace.json \
+//!     cargo run --release -p pq-bench --bin fig4
+//! # then load results/trace.json into https://ui.perfetto.dev
+//! ```
+//!
+//! `runall` additionally writes `results/manifest.json` — scale, seed,
+//! git rev, per-phase wall-times, Table-3 funnel counts and
+//! per-protocol PLT p50/p90/p99 (see [`manifest::Manifest`]) — and
+//! `results/BENCH_obs.json`, the phase-timing + events/sec regression
+//! baseline.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod manifest;
 pub mod report;
 
 use pq_sim::NetworkKind;
@@ -44,12 +74,24 @@ pub enum Scale {
 }
 
 impl Scale {
-    /// Read from `PQ_SCALE` (default `reduced`).
+    /// Read from `PQ_SCALE` (default `reduced`). Unknown values warn
+    /// via the tracer instead of being silently swallowed.
     pub fn from_env() -> Scale {
         match std::env::var("PQ_SCALE").as_deref() {
             Ok("smoke") => Scale::Smoke,
+            Ok("reduced") => Scale::Reduced,
             Ok("full") => Scale::Full,
-            _ => Scale::Reduced,
+            Ok(other) => {
+                pq_obs::tracer().warn(
+                    "bench",
+                    format!(
+                        "unknown PQ_SCALE={other:?} (expected smoke|reduced|full); \
+                         defaulting to reduced"
+                    ),
+                );
+                Scale::Reduced
+            }
+            Err(_) => Scale::Reduced,
         }
     }
 
@@ -73,11 +115,22 @@ impl Scale {
 }
 
 /// Study seed from `PQ_SEED` (default 1910, the paper's arXiv month).
+/// An unparsable value warns via the tracer instead of being silently
+/// replaced by the default.
 pub fn seed_from_env() -> u64 {
-    std::env::var("PQ_SEED")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(1910)
+    match std::env::var("PQ_SEED") {
+        Ok(s) => match s.parse() {
+            Ok(seed) => seed,
+            Err(_) => {
+                pq_obs::tracer().warn(
+                    "bench",
+                    format!("unparsable PQ_SEED={s:?}; defaulting to 1910"),
+                );
+                1910
+            }
+        },
+        Err(_) => 1910,
+    }
 }
 
 /// The corpus subset for a scale: always includes the five lab sites
@@ -128,8 +181,15 @@ pub fn run_experiment_from_env(header: &str) -> Experiment {
     e
 }
 
-/// Pretty vote-share bar for terminal tables.
+/// Pretty vote-share bar for terminal tables. Out-of-range shares are
+/// clamped to `[0, 1]` (NaN renders empty) so a buggy upstream share
+/// can never overflow the table layout.
 pub fn share_bar(share: f64, width: usize) -> String {
+    let share = if share.is_nan() {
+        0.0
+    } else {
+        share.clamp(0.0, 1.0)
+    };
     let filled = (share * width as f64).round() as usize;
     let mut s = String::new();
     for i in 0..width {
@@ -169,5 +229,17 @@ mod tests {
         assert_eq!(share_bar(0.5, 10), "#####.....");
         assert_eq!(share_bar(0.0, 4), "....");
         assert_eq!(share_bar(1.0, 4), "####");
+    }
+
+    #[test]
+    fn share_bar_clamps_out_of_range() {
+        // > 1.0 must not overflow the bar width.
+        assert_eq!(share_bar(1.7, 4), "####");
+        assert_eq!(share_bar(f64::INFINITY, 4), "####");
+        // Negative shares clamp to empty.
+        assert_eq!(share_bar(-0.3, 4), "....");
+        assert_eq!(share_bar(f64::NEG_INFINITY, 4), "....");
+        // NaN renders empty rather than panicking or filling.
+        assert_eq!(share_bar(f64::NAN, 4), "....");
     }
 }

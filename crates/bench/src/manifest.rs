@@ -1,0 +1,354 @@
+//! The machine-readable run manifest written by `runall`.
+//!
+//! One `results/manifest.json` per experiment execution: scale, seed,
+//! git revision, per-phase wall-times, the Table-3 funnels, the
+//! per-protocol PLT histogram summaries (p50/p90/p99, fed by the
+//! instrumented browser layer) and the event-queue throughput — the
+//! regression baseline every future perf PR diffs against.
+
+use crate::Experiment;
+use pq_obs::json::Value;
+use pq_obs::{MetricSnapshot, PhaseTimer};
+use pq_study::Group;
+use pq_transport::Protocol;
+
+/// Survivor counts of one group×study conformance funnel.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FunnelCounts {
+    /// Subject group name (`lab` / `microworker` / `internet`).
+    pub group: String,
+    /// Participants recruited.
+    pub recruited: u32,
+    /// Survivors after rules R1..=R7.
+    pub after: [u32; 7],
+}
+
+/// Per-protocol PLT histogram summary (milliseconds).
+#[derive(Clone, Debug, PartialEq)]
+pub struct PltSummary {
+    /// Protocol label (Table 1 row).
+    pub protocol: String,
+    /// Page loads observed.
+    pub count: u64,
+    /// ~median PLT.
+    pub p50: f64,
+    /// ~90th percentile.
+    pub p90: f64,
+    /// ~99th percentile.
+    pub p99: f64,
+}
+
+/// Everything a `runall` execution leaves behind for machines.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Manifest {
+    /// Experiment scale label (`smoke` / `reduced` / `full`).
+    pub scale: String,
+    /// Study seed.
+    pub seed: u64,
+    /// `git rev-parse --short HEAD`, or `unknown` outside a checkout.
+    pub git_rev: String,
+    /// Unix timestamp (seconds) of manifest creation.
+    pub created_unix: u64,
+    /// `(phase name, wall seconds)` in execution order.
+    pub phase_secs: Vec<(String, f64)>,
+    /// A/B study funnels, one per group (Table 3 upper half).
+    pub funnel_ab: Vec<FunnelCounts>,
+    /// Rating study funnels (Table 3 lower half).
+    pub funnel_rating: Vec<FunnelCounts>,
+    /// PLT summaries per protocol, from the registry histograms.
+    pub plt_ms: Vec<PltSummary>,
+    /// Total discrete events processed by all event queues.
+    pub sim_events: u64,
+    /// Total page loads simulated.
+    pub pageloads: u64,
+}
+
+impl Manifest {
+    /// Assemble the manifest from a finished experiment, the phase
+    /// timer, and the global metrics registry.
+    pub fn collect(e: &Experiment, timer: &PhaseTimer) -> Manifest {
+        let reg = pq_obs::registry();
+        let funnel = |funnels: &[pq_study::Funnel; 3]| -> Vec<FunnelCounts> {
+            Group::ALL
+                .into_iter()
+                .zip(funnels)
+                .map(|(g, f)| FunnelCounts {
+                    group: g.name().to_lowercase().replace(['µ', ' '], ""),
+                    recruited: f.recruited,
+                    after: f.after,
+                })
+                .collect()
+        };
+        let plt_ms = Protocol::ALL
+            .into_iter()
+            .filter_map(|p| {
+                let name = format!("web.plt_ms{{proto=\"{}\"}}", p.label());
+                match reg.get(&name) {
+                    Some(MetricSnapshot::Histogram {
+                        count,
+                        p50,
+                        p90,
+                        p99,
+                        ..
+                    }) => Some(PltSummary {
+                        protocol: p.label().to_string(),
+                        count,
+                        p50,
+                        p90,
+                        p99,
+                    }),
+                    _ => None,
+                }
+            })
+            .collect();
+        let counter = |name: &str| match reg.get(name) {
+            Some(MetricSnapshot::Counter(v)) => v,
+            _ => 0,
+        };
+        Manifest {
+            scale: e.scale.label().to_string(),
+            seed: e.seed,
+            git_rev: git_rev(),
+            created_unix: std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_secs())
+                .unwrap_or(0),
+            phase_secs: timer.phases().to_vec(),
+            funnel_ab: funnel(&e.data.funnel_ab),
+            funnel_rating: funnel(&e.data.funnel_rating),
+            plt_ms,
+            sim_events: counter("sim.events_processed"),
+            pageloads: counter("web.pageloads"),
+        }
+    }
+
+    /// Encode as JSON.
+    pub fn to_json(&self) -> Value {
+        let funnels = |fs: &[FunnelCounts]| -> Vec<Value> {
+            fs.iter()
+                .map(|f| {
+                    Value::obj()
+                        .with("group", f.group.as_str())
+                        .with("recruited", u64::from(f.recruited))
+                        .with(
+                            "after",
+                            f.after
+                                .iter()
+                                .map(|&n| Value::from(u64::from(n)))
+                                .collect::<Vec<_>>(),
+                        )
+                })
+                .collect()
+        };
+        Value::obj()
+            .with("scale", self.scale.as_str())
+            .with("seed", self.seed)
+            .with("git_rev", self.git_rev.as_str())
+            .with("created_unix", self.created_unix)
+            .with(
+                "phases",
+                self.phase_secs
+                    .iter()
+                    .map(|(name, secs)| {
+                        Value::obj().with("name", name.as_str()).with("secs", *secs)
+                    })
+                    .collect::<Vec<_>>(),
+            )
+            .with("funnel_ab", funnels(&self.funnel_ab))
+            .with("funnel_rating", funnels(&self.funnel_rating))
+            .with(
+                "plt_ms",
+                self.plt_ms
+                    .iter()
+                    .map(|p| {
+                        Value::obj()
+                            .with("protocol", p.protocol.as_str())
+                            .with("count", p.count)
+                            .with("p50", p.p50)
+                            .with("p90", p.p90)
+                            .with("p99", p.p99)
+                    })
+                    .collect::<Vec<_>>(),
+            )
+            .with("sim_events", self.sim_events)
+            .with("pageloads", self.pageloads)
+    }
+
+    /// Decode from JSON (inverse of [`Manifest::to_json`]); `None` on
+    /// any missing or mistyped field.
+    pub fn from_json(v: &Value) -> Option<Manifest> {
+        let funnels = |v: &Value| -> Option<Vec<FunnelCounts>> {
+            v.as_arr()?
+                .iter()
+                .map(|f| {
+                    let after_v = f.get("after")?.as_arr()?;
+                    let mut after = [0u32; 7];
+                    if after_v.len() != after.len() {
+                        return None;
+                    }
+                    for (slot, a) in after.iter_mut().zip(after_v) {
+                        *slot = a.as_u64()? as u32;
+                    }
+                    Some(FunnelCounts {
+                        group: f.get("group")?.as_str()?.to_string(),
+                        recruited: f.get("recruited")?.as_u64()? as u32,
+                        after,
+                    })
+                })
+                .collect()
+        };
+        Some(Manifest {
+            scale: v.get("scale")?.as_str()?.to_string(),
+            seed: v.get("seed")?.as_u64()?,
+            git_rev: v.get("git_rev")?.as_str()?.to_string(),
+            created_unix: v.get("created_unix")?.as_u64()?,
+            phase_secs: v
+                .get("phases")?
+                .as_arr()?
+                .iter()
+                .map(|p| {
+                    Some((
+                        p.get("name")?.as_str()?.to_string(),
+                        p.get("secs")?.as_f64()?,
+                    ))
+                })
+                .collect::<Option<Vec<_>>>()?,
+            funnel_ab: funnels(v.get("funnel_ab")?)?,
+            funnel_rating: funnels(v.get("funnel_rating")?)?,
+            plt_ms: v
+                .get("plt_ms")?
+                .as_arr()?
+                .iter()
+                .map(|p| {
+                    Some(PltSummary {
+                        protocol: p.get("protocol")?.as_str()?.to_string(),
+                        count: p.get("count")?.as_u64()?,
+                        p50: p.get("p50")?.as_f64()?,
+                        p90: p.get("p90")?.as_f64()?,
+                        p99: p.get("p99")?.as_f64()?,
+                    })
+                })
+                .collect::<Option<Vec<_>>>()?,
+            sim_events: v.get("sim_events")?.as_u64()?,
+            pageloads: v.get("pageloads")?.as_u64()?,
+        })
+    }
+
+    /// Write the manifest to `path` (creating parent directories).
+    pub fn write(&self, path: &str) -> std::io::Result<()> {
+        write_json(path, &self.to_json())
+    }
+}
+
+/// `git rev-parse --short HEAD`, or `"unknown"`.
+fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Write any JSON value to `path`, creating parent directories.
+pub fn write_json(path: &str, v: &Value) -> std::io::Result<()> {
+    if let Some(parent) = std::path::Path::new(path).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    std::fs::write(path, v.to_pretty())
+}
+
+/// The `BENCH_obs.json` regression baseline: phase wall-times plus
+/// event-queue throughput of the run.
+pub fn bench_obs_json(timer: &PhaseTimer, scale: &str, seed: u64) -> Value {
+    let reg = pq_obs::registry();
+    let events = match reg.get("sim.events_processed") {
+        Some(MetricSnapshot::Counter(v)) => v,
+        _ => 0,
+    };
+    let pageloads = match reg.get("web.pageloads") {
+        Some(MetricSnapshot::Counter(v)) => v,
+        _ => 0,
+    };
+    let total = timer.total_secs();
+    Value::obj()
+        .with("bench", "pq_obs_pipeline")
+        .with("scale", scale)
+        .with("seed", seed)
+        .with("total_secs", total)
+        .with("phases", timer.to_json())
+        .with("sim_events", events)
+        .with(
+            "events_per_sec",
+            if total > 0.0 {
+                events as f64 / total
+            } else {
+                0.0
+            },
+        )
+        .with("pageloads", pageloads)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Manifest {
+        Manifest {
+            scale: "smoke".into(),
+            seed: 1910,
+            git_rev: "abc1234".into(),
+            created_unix: 1_765_000_000,
+            phase_secs: vec![("experiment".into(), 12.5), ("fig4".into(), 0.25)],
+            funnel_ab: vec![FunnelCounts {
+                group: "lab".into(),
+                recruited: 35,
+                after: [35; 7],
+            }],
+            funnel_rating: vec![FunnelCounts {
+                group: "microworker".into(),
+                recruited: 487,
+                after: [471, 441, 355, 268, 268, 239, 233],
+            }],
+            plt_ms: vec![PltSummary {
+                protocol: "QUIC".into(),
+                count: 240,
+                p50: 1810.0,
+                p90: 4920.5,
+                p99: 10230.0,
+            }],
+            sim_events: 123_456_789,
+            pageloads: 240,
+        }
+    }
+
+    #[test]
+    fn manifest_round_trips_through_json() {
+        let m = sample();
+        let text = m.to_json().to_pretty();
+        let parsed = Value::parse(&text).expect("valid JSON");
+        let back = Manifest::from_json(&parsed).expect("decodes");
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn from_json_rejects_mistyped_fields() {
+        let mut v = sample().to_json();
+        v.set("seed", "not-a-number");
+        assert!(Manifest::from_json(&v).is_none());
+    }
+
+    #[test]
+    fn bench_obs_shape() {
+        let timer = PhaseTimer::new();
+        let v = bench_obs_json(&timer, "smoke", 7);
+        assert_eq!(v.get("scale").and_then(|s| s.as_str()), Some("smoke"));
+        assert!(v.get("events_per_sec").is_some());
+        let text = v.to_pretty();
+        assert!(Value::parse(&text).is_ok());
+    }
+}

@@ -14,8 +14,8 @@ use pq_transport::Protocol;
 pub fn print_table1() {
     println!("== Table 1: protocol configurations ==");
     println!(
-        "{:<10} {:<9} {:<4} {:<7} {:<14} {:<12} {}",
-        "Protocol", "CC", "IW", "Pacing", "TunedBuffers", "IdleRestart", "SACK blocks/ACK"
+        "{:<10} {:<9} {:<4} {:<7} {:<14} {:<12} SACK blocks/ACK",
+        "Protocol", "CC", "IW", "Pacing", "TunedBuffers", "IdleRestart"
     );
     let net = NetworkKind::Dsl.config();
     for p in Protocol::ALL {
@@ -31,7 +31,11 @@ pub fn print_table1() {
             } else {
                 "stock"
             },
-            if c.slow_start_after_idle { "IW-reset" } else { "keep" },
+            if c.slow_start_after_idle {
+                "IW-reset"
+            } else {
+                "keep"
+            },
             c.max_sack_blocks,
         );
     }
@@ -44,7 +48,14 @@ pub fn print_table2() {
     println!("== Table 2: network configurations (spec | measured) ==");
     println!(
         "{:<7} {:>9} {:>10} {:>9} {:>7} | {:>11} {:>9} {:>8}",
-        "Network", "Up[Mbps]", "Down[Mbps]", "RTT[ms]", "Loss", "meas.Down", "meas.RTT", "meas.Loss"
+        "Network",
+        "Up[Mbps]",
+        "Down[Mbps]",
+        "RTT[ms]",
+        "Loss",
+        "meas.Down",
+        "meas.RTT",
+        "meas.Loss"
     );
     for kind in NetworkKind::ALL {
         let cfg = kind.config();
@@ -94,10 +105,8 @@ fn measure_network(down: &LinkConfig, up: &LinkConfig) -> (f64, f64, f64) {
     let loss = stats.lost as f64 / (stats.lost + stats.delivered) as f64;
     // RTT: one-way delays of both directions plus two serializations
     // of a tiny probe.
-    let rtt = up.prop_delay
-        + down.prop_delay
-        + up.serialization_delay(60)
-        + down.serialization_delay(60);
+    let rtt =
+        up.prop_delay + down.prop_delay + up.serialization_delay(60) + down.serialization_delay(60);
     (mbps, rtt.as_millis_f64(), loss)
 }
 
@@ -108,8 +117,16 @@ pub fn print_table3(e: &Experiment) {
         "{:<9} {:<7} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6}",
         "Group", "Study", "-", "R1", "R2", "R3", "R4", "R5", "R6", "R7"
     );
-    let paper_ab = [[35; 8], [487, 471, 441, 355, 268, 268, 239, 233], [218, 217, 210, 196, 171, 170, 159, 155]];
-    let paper_rate = [[35; 8], [1563, 1494, 1321, 1034, 733, 723, 661, 614], [209, 204, 194, 172, 152, 151, 140, 138]];
+    let paper_ab = [
+        [35; 8],
+        [487, 471, 441, 355, 268, 268, 239, 233],
+        [218, 217, 210, 196, 171, 170, 159, 155],
+    ];
+    let paper_rate = [
+        [35; 8],
+        [1563, 1494, 1321, 1034, 733, 723, 661, 614],
+        [209, 204, 194, 172, 152, 151, 140, 138],
+    ];
     for (gi, group) in Group::ALL.into_iter().enumerate() {
         for (study, funnel, paper) in [
             ("A/B", &e.data.funnel_ab[gi], &paper_ab[gi]),
@@ -147,7 +164,10 @@ pub fn print_fig3(e: &Experiment) {
         100.0 * agree as f64 / rows.len() as f64
     );
     let dev: Vec<f64> = rows.iter().filter_map(|r| r.internet_deviation()).collect();
-    let micro_dev: Vec<f64> = rows.iter().map(|r| (r.micro.mean - r.lab.mean).abs()).collect();
+    let micro_dev: Vec<f64> = rows
+        .iter()
+        .map(|r| (r.micro.mean - r.lab.mean).abs())
+        .collect();
     if !dev.is_empty() {
         println!(
             "mean |deviation from lab mean|: µWorker {:.1}, Internet(median) {:.1}  → the Internet group deviates most and is excluded (as in §4.2)",
@@ -155,7 +175,10 @@ pub fn print_fig3(e: &Experiment) {
             pq_stats::mean(&dev),
         );
     }
-    println!("{:<26} {:>9} {:>16} {:>9} {:>9}", "condition (site/net/proto)", "lab mean", "lab 99% CI", "µWorker", "Internet");
+    println!(
+        "{:<26} {:>9} {:>16} {:>9} {:>9}",
+        "condition (site/net/proto)", "lab mean", "lab 99% CI", "µWorker", "Internet"
+    );
     let step = (rows.len() / 12).max(1);
     for r in rows.iter().step_by(step) {
         println!(
@@ -226,7 +249,10 @@ pub fn print_fig5(e: &Experiment) {
     }
     println!();
     for (env, net) in cells {
-        print!("{:<22}", format!("{} / {}", env.name(), net.unwrap().name()));
+        print!(
+            "{:<22}",
+            format!("{} / {}", env.name(), net.unwrap().name())
+        );
         for p in Protocol::ALL {
             match pq_study::rating_interval(&e.data.ratings, env, net, p, Group::MicroWorker, 0.99)
             {
@@ -239,9 +265,13 @@ pub fn print_fig5(e: &Experiment) {
 
     println!("\nANOVA across the five protocols per setting:");
     for (env, net) in cells {
-        if let Some(r) =
-            anova_across_protocols(&e.data.ratings, env, net, &Protocol::ALL, Group::MicroWorker)
-        {
+        if let Some(r) = anova_across_protocols(
+            &e.data.ratings,
+            env,
+            net,
+            &Protocol::ALL,
+            Group::MicroWorker,
+        ) {
             println!(
                 "  {:<22} F={:<6.2} p={:<8.4} significant: 99% {} / 90% {}",
                 format!("{} / {}", env.name(), net.unwrap().name()),
@@ -269,7 +299,11 @@ pub fn print_fig5(e: &Experiment) {
             0.90,
             e.stimuli.site_count(),
         );
-        println!("  {}: {} significant site×pair differences", network.name(), diffs.len());
+        println!(
+            "  {}: {} significant site×pair differences",
+            network.name(),
+            diffs.len()
+        );
         for d in diffs.iter().take(6) {
             println!(
                 "     {:<18} {} > {} by {:.1} points (p={:.3})",
@@ -327,7 +361,10 @@ pub fn print_fig6(e: &Experiment) {
 /// §4.2: answer-time, replay and demographic statistics per group.
 pub fn print_agreement(e: &Experiment) {
     println!("== §4.2: study agreement statistics ==");
-    println!("{:<9} {:>16} {:>19}", "Group", "A/B s/video", "Rating s/video");
+    println!(
+        "{:<9} {:>16} {:>19}",
+        "Group", "A/B s/video", "Rating s/video"
+    );
     let paper = [(17.69, 21.44), (14.46, 17.71), (15.59, 19.23)];
     for group in Group::ALL {
         let ab: Vec<f64> = e
@@ -426,11 +463,16 @@ pub fn print_ablation(e: &Experiment) {
             .data
             .ab
             .iter()
-            .filter(|v| v.network == NetworkKind::Mss && v.pair == pair && v.group == Group::MicroWorker)
+            .filter(|v| {
+                v.network == NetworkKind::Mss && v.pair == pair && v.group == Group::MicroWorker
+            })
             .collect();
         let n = all.len() as f64;
-        let first =
-            all.iter().filter(|v| v.choice == pq_study::AbChoice::First).count() as f64 / n;
+        let first = all
+            .iter()
+            .filter(|v| v.choice == pq_study::AbChoice::First)
+            .count() as f64
+            / n;
         println!(
             "  QUIC-preferred share: filtered {:.0}% (n={}) vs unfiltered {:.0}% (n={})",
             filtered.first * 100.0,
@@ -447,7 +489,12 @@ pub fn print_ablation(e: &Experiment) {
         (StudyKind::Rating, &e.data.sessions_rating),
     ] {
         let valid = sessions.iter().filter(|s| s.valid()).count();
-        println!("  {:?}: {} recruited, {} valid", kind, sessions.len(), valid);
+        println!(
+            "  {:?}: {} recruited, {} valid",
+            kind,
+            sessions.len(),
+            valid
+        );
     }
 
     println!("\n== Ablation 3: 0-RTT repeat visits (median FVC, wikipedia, ms) ==");
@@ -456,11 +503,18 @@ pub fn print_ablation(e: &Experiment) {
         v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
         v[v.len() / 2]
     };
-    println!("  {:<8} {:>11} {:>11} {:>11} {:>11}", "network", "TCP+ fresh", "TCP+ 0RTT", "QUIC fresh", "QUIC 0RTT");
+    println!(
+        "  {:<8} {:>11} {:>11} {:>11} {:>11}",
+        "network", "TCP+ fresh", "TCP+ 0RTT", "QUIC fresh", "QUIC 0RTT"
+    );
     for kind in [NetworkKind::Dsl, NetworkKind::Lte] {
         let net = kind.config();
         let fvc = |proto: Protocol, zr: bool| {
-            let cfg = if zr { proto.config_zero_rtt(&net) } else { proto.config(&net) };
+            let cfg = if zr {
+                proto.config_zero_rtt(&net)
+            } else {
+                proto.config(&net)
+            };
             med((0..5)
                 .map(|s| {
                     pq_web::load_page_with_config(&site, &net, &cfg, 600 + s, &Default::default())
@@ -489,7 +543,11 @@ pub fn print_ablation(e: &Experiment) {
             ..Default::default()
         };
         let si = med((0..5)
-            .map(|s| pq_web::load_page(&site, &net, Protocol::Quic, 700 + s, &opts).metrics.si_ms)
+            .map(|s| {
+                pq_web::load_page(&site, &net, Protocol::Quic, 700 + s, &opts)
+                    .metrics
+                    .si_ms
+            })
             .collect());
         print!(" scale {scale}: {si:>6.0}");
     }

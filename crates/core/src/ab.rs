@@ -237,9 +237,8 @@ mod tests {
             28,
             5,
         );
-        let avg = |vs: &[AbVote]| {
-            vs.iter().map(|v| f64::from(v.replays)).sum::<f64>() / vs.len() as f64
-        };
+        let avg =
+            |vs: &[AbVote]| vs.iter().map(|v| f64::from(v.replays)).sum::<f64>() / vs.len() as f64;
         assert!(
             avg(&same) > avg(&diff),
             "ambiguous pairs replay more: {} vs {}",

@@ -299,15 +299,17 @@ pub fn fig3_agreement(votes: &[RatingVote], confidence: f64) -> Vec<AgreementRow
     let mut rows: Vec<AgreementRow> = per_cond
         .into_iter()
         .filter(|(_, samples)| samples[0].len() >= 2 && samples[1].len() >= 2)
-        .map(|((site, network, protocol, environment), samples)| AgreementRow {
-            site,
-            network,
-            protocol,
-            environment,
-            lab: t_interval(&samples[0], confidence),
-            micro: t_interval(&samples[1], confidence),
-            internet_median: (!samples[2].is_empty()).then(|| median(&samples[2])),
-        })
+        .map(
+            |((site, network, protocol, environment), samples)| AgreementRow {
+                site,
+                network,
+                protocol,
+                environment,
+                lab: t_interval(&samples[0], confidence),
+                micro: t_interval(&samples[1], confidence),
+                internet_median: (!samples[2].is_empty()).then(|| median(&samples[2])),
+            },
+        )
         .collect();
     rows.sort_by(|a, b| a.lab.mean.partial_cmp(&b.lab.mean).expect("finite means"));
     rows

@@ -135,9 +135,12 @@ mod tests {
 
     #[test]
     fn noise_orders_by_group() {
-        assert!(OBS_NOISE[0] < OBS_NOISE[1]);
-        assert!(OBS_NOISE[1] < OBS_NOISE[2]);
-        assert!(RATE_NOISE[0] < RATE_NOISE[1]);
+        // The constants are calibration data; assert over the arrays
+        // at runtime so a future edit can't silently break the order.
+        let obs: Vec<f64> = OBS_NOISE.to_vec();
+        let rate: Vec<f64> = RATE_NOISE.to_vec();
+        assert!(obs.windows(2).all(|w| w[0] < w[1]), "{obs:?}");
+        assert!(rate[0] < rate[1], "{rate:?}");
     }
 
     #[test]

@@ -42,8 +42,8 @@ pub mod stimulus;
 pub use ab::{run_ab_study, AbChoice, AbVote};
 pub use analysis::{
     ab_shares, anova_across_protocols, confidence_stats, fig3_agreement, metric_correlation,
-    per_site_differences, rating_interval, rating_sample, AbShares, AgreementRow,
-    ConfidenceStats, SiteDifference,
+    per_site_differences, rating_interval, rating_sample, AbShares, AgreementRow, ConfidenceStats,
+    SiteDifference,
 };
 pub use filtering::{Conformance, Funnel, Rule};
 pub use participant::{AgeBracket, Group, Participant};

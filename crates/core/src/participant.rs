@@ -185,8 +185,8 @@ mod tests {
         assert!(mid > 0.55, "µWorkers are mostly 25–44: {mid}");
 
         let lab = pool(Group::Lab, 2000);
-        let young = lab.iter().filter(|p| p.age == AgeBracket::Under24).count() as f64
-            / lab.len() as f64;
+        let young =
+            lab.iter().filter(|p| p.age == AgeBracket::Under24).count() as f64 / lab.len() as f64;
         assert!(young > 0.5, "lab majority under 24: {young}");
     }
 
@@ -194,9 +194,8 @@ mod tests {
     fn lab_is_least_noisy() {
         let lab = pool(Group::Lab, 300);
         let net = pool(Group::Internet, 300);
-        let mean = |ps: &[Participant]| {
-            ps.iter().map(|p| p.obs_noise).sum::<f64>() / ps.len() as f64
-        };
+        let mean =
+            |ps: &[Participant]| ps.iter().map(|p| p.obs_noise).sum::<f64>() / ps.len() as f64;
         assert!(mean(&lab) < mean(&net));
     }
 

@@ -99,7 +99,10 @@ mod tests {
         let fast = base_rating(metrics(1000.0).si_ms.ln());
         let slow = base_rating(metrics(30_000.0).si_ms.ln());
         assert!(fast > slow);
-        assert!((fast - calib::RATE_A).abs() < 1e-9, "1 s SI sits at the anchor");
+        assert!(
+            (fast - calib::RATE_A).abs() < 1e-9,
+            "1 s SI sits at the anchor"
+        );
     }
 
     #[test]

@@ -30,7 +30,8 @@ pub enum Environment {
 
 impl Environment {
     /// All environments.
-    pub const ALL: [Environment; 3] = [Environment::Work, Environment::FreeTime, Environment::Plane];
+    pub const ALL: [Environment; 3] =
+        [Environment::Work, Environment::FreeTime, Environment::Plane];
 
     /// Index into calibration tables.
     pub fn idx(self) -> usize {
@@ -137,9 +138,7 @@ pub fn run_rating_study(
                 let (speed, quality) = if session.rusher {
                     // Rushers drag the slider anywhere.
                     (r.range_f64(10.0, 70.0), r.range_f64(10.0, 70.0))
-                } else if p.group == Group::Internet
-                    && r.chance(calib::INTERNET_GARBAGE_RATE)
-                {
+                } else if p.group == Group::Internet && r.chance(calib::INTERNET_GARBAGE_RATE) {
                     // The Internet group's unsupervised contamination —
                     // why §4.2 cannot treat it as normally distributed.
                     let g = r.range_f64(10.0, 70.0);
@@ -150,8 +149,7 @@ pub fn run_rating_study(
                         + calib::CONTEXT_SHIFT[env.idx()]
                         + tastes.get(&site).copied().unwrap_or(0.0)
                         + p.rating_bias;
-                    let speed =
-                        percept::clamp_vote(base + r.normal_with(0.0, p.rating_noise));
+                    let speed = percept::clamp_vote(base + r.normal_with(0.0, p.rating_noise));
                     let quality =
                         percept::clamp_vote(base + r.normal_with(0.0, p.rating_noise * 1.1));
                     (speed, quality)

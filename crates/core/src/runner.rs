@@ -8,7 +8,50 @@ use crate::participant::Group;
 use crate::rating::{run_rating_study, site_tastes, RatingVote};
 use crate::session::{population, Session, StudyKind};
 use crate::stimulus::StimulusSet;
+use pq_obs::{ArgValue, Level};
 use pq_transport::Protocol;
+
+/// Record one group×study execution: funnel R1–R7 gauges + vote
+/// counter in the registry, plus a wall-clock progress span on the
+/// harness track (`pid 0`).
+fn obs_study(study: &'static str, group: Group, funnel: &Funnel, votes: usize, start_ns: u64) {
+    let g = group.name();
+    let reg = pq_obs::registry();
+    reg.counter_add(
+        &format!("study.votes{{study=\"{study}\",group=\"{g}\"}}"),
+        votes as u64,
+    );
+    reg.gauge_set(
+        &format!("study.funnel{{study=\"{study}\",group=\"{g}\",stage=\"recruited\"}}"),
+        f64::from(funnel.recruited),
+    );
+    for (i, &n) in funnel.after.iter().enumerate() {
+        reg.gauge_set(
+            &format!(
+                "study.funnel{{study=\"{study}\",group=\"{g}\",stage=\"R{}\"}}",
+                i + 1
+            ),
+            f64::from(n),
+        );
+    }
+    if pq_obs::enabled(Level::Info) {
+        let t = pq_obs::tracer();
+        t.span(
+            Level::Info,
+            "study",
+            format!("{study} {g}"),
+            0,
+            0,
+            start_ns,
+            t.wall_ns(),
+            vec![
+                ("votes", ArgValue::U64(votes as u64)),
+                ("recruited", ArgValue::U64(u64::from(funnel.recruited))),
+                ("survivors", ArgValue::U64(u64::from(funnel.survivors()))),
+            ],
+        );
+    }
+}
 
 /// The complete raw dataset of one study execution.
 #[derive(Debug)]
@@ -38,12 +81,7 @@ pub fn default_pairs() -> Vec<(Protocol, Protocol)> {
 /// that the designs touch: all four networks and all five protocols
 /// (or restrict `pairs`/`protocols` accordingly).
 pub fn run_study(stimuli: &StimulusSet, seed: u64) -> StudyData {
-    run_study_with(
-        stimuli,
-        &default_pairs(),
-        &Protocol::ALL,
-        seed,
-    )
+    run_study_with(stimuli, &default_pairs(), &Protocol::ALL, seed)
 }
 
 /// Run both studies with explicit pair/protocol selections.
@@ -92,6 +130,8 @@ pub fn run_study_with(
         funnel_ab.push(Funnel::apply(
             &s_ab.iter().map(|s| s.conformance).collect::<Vec<_>>(),
         ));
+        let t_ab = pq_obs::tracer().wall_ns();
+        let before_ab = ab.len();
         ab.extend(run_ab_study(
             stimuli,
             &s_ab,
@@ -101,12 +141,15 @@ pub fn run_study_with(
             calib::AB_VIDEOS[gi],
             seed ^ 0xAB,
         ));
+        obs_study("ab", group, &funnel_ab[gi], ab.len() - before_ab, t_ab);
         sessions_ab.extend(s_ab);
 
         let s_rate = population(StudyKind::Rating, group, seed);
         funnel_rating.push(Funnel::apply(
             &s_rate.iter().map(|s| s.conformance).collect::<Vec<_>>(),
         ));
+        let t_rate = pq_obs::tracer().wall_ns();
+        let before_rate = ratings.len();
         ratings.extend(run_rating_study(
             stimuli,
             &s_rate,
@@ -116,6 +159,13 @@ pub fn run_study_with(
             &tastes,
             seed ^ 0x4A7E,
         ));
+        obs_study(
+            "rating",
+            group,
+            &funnel_rating[gi],
+            ratings.len() - before_rate,
+            t_rate,
+        );
         sessions_rating.extend(s_rate);
     }
 
@@ -140,13 +190,7 @@ mod tests {
             .iter()
             .map(|n| catalogue::site(n).unwrap())
             .collect();
-        StimulusSet::build(
-            &sites,
-            &NetworkKind::ALL,
-            &Protocol::ALL,
-            2,
-            77,
-        )
+        StimulusSet::build(&sites, &NetworkKind::ALL, &Protocol::ALL, 2, 77)
     }
 
     #[test]

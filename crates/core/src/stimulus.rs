@@ -84,8 +84,7 @@ impl StimulusSet {
                         all.push(res.metrics);
                     }
                     let idx = typical_run(&all).expect("at least one run");
-                    let mean_plt =
-                        all.iter().map(|m| m.plt_ms).sum::<f64>() / all.len() as f64;
+                    let mean_plt = all.iter().map(|m| m.plt_ms).sum::<f64>() / all.len() as f64;
                     let metrics = all[idx];
                     map.insert(
                         cond,

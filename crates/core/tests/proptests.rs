@@ -1,10 +1,10 @@
 //! Property-based tests for the study layer: filtering funnels,
 //! perception monotonicity and vote-scale safety.
 
-use proptest::prelude::*;
 use pq_metrics::MetricSet;
 use pq_sim::SimRng;
 use pq_study::{percept, Conformance, Funnel, Group, Participant};
+use proptest::prelude::*;
 
 fn arb_conformance() -> impl Strategy<Value = Conformance> {
     prop::array::uniform7(prop::bool::weighted(0.15)).prop_map(|violated| Conformance { violated })

@@ -37,7 +37,13 @@ pub enum Metric {
 
 impl Metric {
     /// Figure 6 row order.
-    pub const ALL: [Metric; 5] = [Metric::Fvc, Metric::Si, Metric::Vc85, Metric::Lvc, Metric::Plt];
+    pub const ALL: [Metric; 5] = [
+        Metric::Fvc,
+        Metric::Si,
+        Metric::Vc85,
+        Metric::Lvc,
+        Metric::Plt,
+    ];
 
     /// Display name.
     pub fn name(self) -> &'static str {

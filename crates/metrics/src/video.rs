@@ -30,11 +30,8 @@ impl Recording {
     /// page briefly).
     pub fn render(timeline: &VisualTimeline, plt: SimTime, fps: u32) -> Recording {
         let fps = fps.max(1);
-        let end = timeline
-            .last_change()
-            .unwrap_or(SimTime::ZERO)
-            .max(plt)
-            + SimDuration::from_secs(1);
+        let end =
+            timeline.last_change().unwrap_or(SimTime::ZERO).max(plt) + SimDuration::from_secs(1);
         let frame_ns = 1_000_000_000u64 / u64::from(fps);
         let n = (end.as_nanos() / frame_ns + 1) as usize;
         let frames = (0..n)

@@ -1,8 +1,8 @@
 //! Property-based tests for the visual-metrics layer.
 
-use proptest::prelude::*;
 use pq_metrics::{typical_run, MetricSet, Recording, VisualTimeline};
 use pq_sim::SimTime;
+use proptest::prelude::*;
 
 fn timeline_from(events: &[(u64, f64)]) -> VisualTimeline {
     let mut tl = VisualTimeline::new();

@@ -1,0 +1,263 @@
+//! Trace exporters: Chrome trace-event JSON and JSONL.
+//!
+//! * **Chrome trace-event** (default): load the file in Perfetto
+//!   (<https://ui.perfetto.dev>) or `chrome://tracing` and a page load
+//!   renders as a waterfall — one process row per load, one thread row
+//!   per connection and per web object, counter charts for cwnd/queue
+//!   depth. Timestamps are microseconds with nanosecond fractions.
+//! * **JSONL** (paths ending in `.jsonl`): one JSON object per line,
+//!   friendly to `jq`/`grep`-style analysis.
+
+use crate::json::{write_escaped, write_num, Value};
+use crate::trace::{tracer, ArgValue, Event, EventKind};
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::path::Path;
+
+fn args_json(args: &[(&'static str, ArgValue)]) -> Value {
+    let mut obj = Value::obj();
+    for (k, v) in args {
+        let val = match v {
+            ArgValue::U64(n) => Value::Num(*n as f64),
+            ArgValue::I64(n) => Value::Num(*n as f64),
+            ArgValue::F64(n) => Value::Num(*n),
+            ArgValue::Str(s) => Value::Str(s.clone()),
+        };
+        obj.set(k, val);
+    }
+    obj
+}
+
+/// Serialise events to the Chrome trace-event JSON format.
+pub fn to_chrome_trace(events: &[Event]) -> String {
+    let t = tracer();
+    let inner = t.inner.lock().expect("tracer poisoned");
+    let mut out = String::with_capacity(events.len() * 128 + 1024);
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    let mut first = true;
+    let mut push = |s: &str, first: &mut bool| {
+        if !*first {
+            out.push(',');
+        }
+        *first = false;
+        out.push('\n');
+        out.push_str(s);
+    };
+    // Metadata: process/thread names.
+    push(
+        "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":0,\"tid\":0,\"args\":{\"name\":\"harness (wall time)\"}}",
+        &mut first,
+    );
+    for (pid, name) in &inner.pid_names {
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            "{{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":{pid},\"tid\":0,\"args\":{{\"name\":"
+        );
+        write_escaped(&mut s, name);
+        s.push_str("}}");
+        push(&s, &mut first);
+    }
+    for (pid, tid, name) in &inner.tid_names {
+        let mut s = String::new();
+        let _ = write!(s, "{{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":{pid},\"tid\":{tid},\"args\":{{\"name\":");
+        write_escaped(&mut s, name);
+        s.push_str("}}");
+        push(&s, &mut first);
+    }
+    drop(inner);
+    for ev in events {
+        let mut s = String::new();
+        s.push('{');
+        let (ph, extra) = match ev.kind {
+            EventKind::Span => ("X", format!(",\"dur\":{:.3}", ev.dur_ns as f64 / 1e3)),
+            EventKind::Instant => ("i", ",\"s\":\"t\"".to_string()),
+            EventKind::Counter => ("C", String::new()),
+        };
+        let _ = write!(s, "\"ph\":\"{ph}\",\"name\":");
+        write_escaped(&mut s, &ev.name);
+        let _ = write!(s, ",\"cat\":\"{}\"", ev.cat);
+        let _ = write!(
+            s,
+            ",\"ts\":{:.3}{extra},\"pid\":{},\"tid\":{}",
+            ev.ts_ns as f64 / 1e3,
+            ev.pid,
+            ev.tid
+        );
+        if !ev.args.is_empty() {
+            s.push_str(",\"args\":");
+            s.push_str(&args_json(&ev.args).to_string());
+        }
+        s.push('}');
+        push(&s, &mut first);
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Serialise events as JSON-lines.
+pub fn to_jsonl(events: &[Event]) -> String {
+    let mut out = String::with_capacity(events.len() * 128);
+    for ev in events {
+        let kind = match ev.kind {
+            EventKind::Span => "span",
+            EventKind::Instant => "instant",
+            EventKind::Counter => "counter",
+        };
+        let mut s = String::new();
+        let _ = write!(s, "{{\"ts_ns\":{},", ev.ts_ns);
+        if ev.kind == EventKind::Span {
+            let _ = write!(s, "\"dur_ns\":{},", ev.dur_ns);
+        }
+        let _ = write!(
+            s,
+            "\"kind\":\"{kind}\",\"level\":\"{}\",\"cat\":\"{}\",\"name\":",
+            ev.level.name(),
+            ev.cat
+        );
+        write_escaped(&mut s, &ev.name);
+        let _ = write!(s, ",\"pid\":{},\"tid\":{}", ev.pid, ev.tid);
+        if !ev.args.is_empty() {
+            s.push_str(",\"args\":{");
+            for (i, (k, v)) in ev.args.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                write_escaped(&mut s, k);
+                s.push(':');
+                match v {
+                    ArgValue::U64(n) => {
+                        let _ = write!(s, "{n}");
+                    }
+                    ArgValue::I64(n) => {
+                        let _ = write!(s, "{n}");
+                    }
+                    ArgValue::F64(n) => write_num(&mut s, *n),
+                    ArgValue::Str(text) => write_escaped(&mut s, text),
+                }
+            }
+            s.push('}');
+        }
+        s.push('}');
+        s.push('\n');
+        out.push_str(&s);
+    }
+    out
+}
+
+/// Write the buffered events to `path`, choosing the format from the
+/// extension (`.jsonl` → JSONL, anything else → Chrome trace JSON).
+/// Drains the buffer. Returns the number of events written.
+pub fn export(path: &Path) -> std::io::Result<usize> {
+    let events = tracer().drain();
+    let body = if path.extension().is_some_and(|e| e == "jsonl") {
+        to_jsonl(&events)
+    } else {
+        to_chrome_trace(&events)
+    };
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(body.as_bytes())?;
+    Ok(events.len())
+}
+
+/// If tracing is enabled and `PQ_TRACE_OUT` is set, export the buffer
+/// there and report on stderr. Call once at the end of a binary.
+/// Returns the path written, if any.
+pub fn flush_to_env() -> Option<std::path::PathBuf> {
+    if !crate::trace::enabled(crate::trace::Level::Error) {
+        return None;
+    }
+    let path = std::path::PathBuf::from(std::env::var_os("PQ_TRACE_OUT")?);
+    let (_, recorded, dropped) = tracer().stats();
+    match export(&path) {
+        Ok(n) => {
+            eprintln!(
+                "[pq-obs] wrote {} ({n} events; {recorded} recorded, {dropped} dropped by the ring)",
+                path.display()
+            );
+            Some(path)
+        }
+        Err(e) => {
+            eprintln!("[pq-obs] error: failed to write {}: {e}", path.display());
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::Level;
+
+    fn ev(kind: EventKind, name: &str, ts: u64, dur: u64) -> Event {
+        Event {
+            ts_ns: ts,
+            dur_ns: dur,
+            kind,
+            level: Level::Info,
+            cat: "test",
+            name: name.to_string(),
+            pid: 1,
+            tid: 2,
+            args: vec![
+                ("bytes", ArgValue::U64(7)),
+                ("who", ArgValue::Str("a\"b".into())),
+            ],
+        }
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json() {
+        let events = vec![
+            ev(EventKind::Span, "obj 1 image", 1_000, 2_500),
+            ev(EventKind::Instant, "FVC", 3_000, 0),
+            ev(EventKind::Counter, "cwnd", 4_000, 0),
+        ];
+        let text = to_chrome_trace(&events);
+        let doc = Value::parse(&text).expect("chrome trace parses as JSON");
+        let evs = doc
+            .get("traceEvents")
+            .and_then(Value::as_arr)
+            .expect("traceEvents");
+        // ≥ 3 payload events (+ metadata rows).
+        let phases: Vec<&str> = evs
+            .iter()
+            .filter_map(|e| e.get("ph").and_then(Value::as_str))
+            .collect();
+        assert!(phases.contains(&"X"));
+        assert!(phases.contains(&"i"));
+        assert!(phases.contains(&"C"));
+        let span = evs
+            .iter()
+            .find(|e| e.get("ph").and_then(Value::as_str) == Some("X"))
+            .unwrap();
+        assert_eq!(span.get("ts").and_then(Value::as_f64), Some(1.0));
+        assert_eq!(span.get("dur").and_then(Value::as_f64), Some(2.5));
+    }
+
+    #[test]
+    fn jsonl_lines_parse_individually() {
+        let events = vec![
+            ev(EventKind::Span, "load", 10, 20),
+            ev(EventKind::Counter, "depth", 30, 0),
+        ];
+        let text = to_jsonl(&events);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            let v = Value::parse(line).expect("line parses");
+            assert!(v.get("ts_ns").is_some());
+            assert_eq!(
+                v.get("args")
+                    .and_then(|a| a.get("who"))
+                    .and_then(Value::as_str),
+                Some("a\"b")
+            );
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! # pq-obs — observability substrate (tracing + metrics), zero deps
+//!
+//! Every layer of the testbed (`pq-sim` → `pq-transport` → `pq-web` →
+//! `pq-study` → `pq-bench`) reports into this crate so that a run can
+//! be *seen* instead of guessed at:
+//!
+//! * [`trace`] — a ring-buffered structured event tracer. Events carry
+//!   a nanosecond timestamp (virtual sim-time for the emulation layers,
+//!   wall-time for the harness), a severity [`Level`], a category, a
+//!   track (`pid`/`tid` in Chrome-trace terms) and typed arguments.
+//!   Tracing is **off by default** and gated behind one relaxed atomic
+//!   load, so the instrumented hot paths cost (near) nothing when
+//!   disabled. Enable with `PQ_TRACE=info` (or `error`/`warn`/`debug`/
+//!   `trace`) and direct the export with `PQ_TRACE_OUT=path`.
+//! * [`metrics`] — a process-global registry of counters, gauges and
+//!   log-bucketed histograms (p50/p90/p99) with Prometheus-text and
+//!   JSON exposition. Always on (the emitting layers batch updates so
+//!   the per-event cost stays negligible).
+//! * [`export`] — serialisers for the trace buffer: JSONL event logs
+//!   (`*.jsonl`) and the Chrome trace-event format (anything else),
+//!   which renders page loads as waterfalls in Perfetto or
+//!   `chrome://tracing`.
+//! * [`json`] — a minimal hand-rolled JSON value/parser/printer used by
+//!   the exporters and by `pq-bench`'s run manifests (the environment
+//!   has no network access, so `serde` is not available; this module
+//!   fills the gap with ~300 auditable lines).
+//! * [`timing`] — wall-clock phase timers for the experiment harness.
+//!
+//! ## Environment knobs
+//!
+//! | Variable | Effect |
+//! |----------|--------|
+//! | `PQ_TRACE` | `off` (default), `error`, `warn`, `info`, `debug`, `trace` |
+//! | `PQ_TRACE_OUT` | export path; `.jsonl` → JSONL, else Chrome trace JSON |
+//! | `PQ_TRACE_BUF` | ring capacity in events (default 262144) |
+//!
+//! ## Track conventions
+//!
+//! * `pid 0` — the harness (wall-clock time since process start).
+//! * `pid ≥ 1` — one simulated page load each (virtual sim-time);
+//!   within a load, `tid 0` carries page-level markers (FVC/LVC/PLT),
+//!   `tid 1+ci` one row per transport connection, and `tid 100+obj`
+//!   one row per web object (the waterfall).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod export;
+pub mod json;
+pub mod metrics;
+pub mod timing;
+pub mod trace;
+
+pub use export::flush_to_env;
+pub use metrics::{registry, MetricSnapshot, Registry};
+pub use timing::{PhaseTimer, Stopwatch};
+pub use trace::{enabled, init_from_env, tracer, ArgValue, Event, EventKind, Level, Tracer};

@@ -1,0 +1,533 @@
+//! The structured event tracer: severity-gated, ring-buffered,
+//! timestamped in raw nanoseconds so both virtual sim-time and
+//! wall-time layers can report without this crate depending on either.
+//!
+//! Cost model: when tracing is disabled (the default) every
+//! instrumentation site reduces to one relaxed atomic load and a
+//! branch — [`enabled`] — so hot paths in the simulator stay hot.
+//! When enabled, recording takes a short mutex critical section and
+//! (for dynamic names/arguments) an allocation; the ring bounds total
+//! memory and overwrites the oldest events once full.
+
+use std::sync::atomic::{AtomicU32, AtomicU8, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// Severity / verbosity of a traced event, ordered `Error < Warn <
+/// Info < Debug < Trace`. [`Level::Off`] disables everything.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Level {
+    /// Tracing disabled.
+    Off = 0,
+    /// Unrecoverable or clearly-wrong conditions.
+    Error = 1,
+    /// Suspicious conditions (invalid config, clamped inputs, …).
+    Warn = 2,
+    /// Run structure: spans, lifecycle events, cwnd/RTT counters.
+    Info = 3,
+    /// Dense diagnostics: queue depths, pacing delays, drops.
+    Debug = 4,
+    /// Firehose (per-packet detail).
+    Trace = 5,
+}
+
+impl Level {
+    /// Parse `PQ_TRACE`-style level names (case-insensitive). Unknown
+    /// strings yield `None` so callers can warn instead of guessing.
+    pub fn parse(s: &str) -> Option<Level> {
+        match s.to_ascii_lowercase().as_str() {
+            "off" | "0" | "" | "none" => Some(Level::Off),
+            "error" | "1" => Some(Level::Error),
+            "warn" | "warning" | "2" => Some(Level::Warn),
+            "info" | "3" => Some(Level::Info),
+            "debug" | "4" => Some(Level::Debug),
+            "trace" | "5" => Some(Level::Trace),
+            _ => None,
+        }
+    }
+
+    /// Lower-case name, as exported.
+    pub fn name(self) -> &'static str {
+        match self {
+            Level::Off => "off",
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+            Level::Trace => "trace",
+        }
+    }
+
+    fn from_u8(v: u8) -> Level {
+        match v {
+            1 => Level::Error,
+            2 => Level::Warn,
+            3 => Level::Info,
+            4 => Level::Debug,
+            5 => Level::Trace,
+            _ => Level::Off,
+        }
+    }
+}
+
+/// A typed event argument value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ArgValue {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Float.
+    F64(f64),
+    /// Text.
+    Str(String),
+}
+
+impl From<u64> for ArgValue {
+    fn from(v: u64) -> Self {
+        ArgValue::U64(v)
+    }
+}
+impl From<i64> for ArgValue {
+    fn from(v: i64) -> Self {
+        ArgValue::I64(v)
+    }
+}
+impl From<f64> for ArgValue {
+    fn from(v: f64) -> Self {
+        ArgValue::F64(v)
+    }
+}
+impl From<&str> for ArgValue {
+    fn from(v: &str) -> Self {
+        ArgValue::Str(v.to_string())
+    }
+}
+impl From<String> for ArgValue {
+    fn from(v: String) -> Self {
+        ArgValue::Str(v)
+    }
+}
+
+/// Shape of a traced event (maps onto Chrome trace-event phases).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// A duration: `ts_ns .. ts_ns + dur_ns` (Chrome phase `X`).
+    Span,
+    /// A point in time (Chrome phase `i`).
+    Instant,
+    /// A sampled numeric series (Chrome phase `C`); the value is the
+    /// first argument.
+    Counter,
+}
+
+/// One recorded event.
+#[derive(Clone, Debug)]
+pub struct Event {
+    /// Start timestamp in nanoseconds (sim-time for `pid ≥ 1`,
+    /// wall-time since tracer init for `pid 0`).
+    pub ts_ns: u64,
+    /// Span duration in nanoseconds (0 for instants/counters).
+    pub dur_ns: u64,
+    /// Event shape.
+    pub kind: EventKind,
+    /// Severity it was recorded at.
+    pub level: Level,
+    /// Category (layer): `"sim"`, `"transport"`, `"web"`, `"study"`,
+    /// `"bench"`, …
+    pub cat: &'static str,
+    /// Display name.
+    pub name: String,
+    /// Track group (process row in Chrome trace).
+    pub pid: u32,
+    /// Track within the group (thread row).
+    pub tid: u32,
+    /// Typed arguments.
+    pub args: Vec<(&'static str, ArgValue)>,
+}
+
+/// Everything behind the ring mutex.
+#[derive(Default)]
+pub(crate) struct Inner {
+    pub(crate) ring: Vec<Event>,
+    /// Next write position in the ring (wraps).
+    pub(crate) head: usize,
+    /// Events discarded because the ring was full.
+    pub(crate) dropped: u64,
+    /// Total events offered.
+    pub(crate) recorded: u64,
+    pub(crate) capacity: usize,
+    /// Registered track-group names (`pid` → label).
+    pub(crate) pid_names: Vec<(u32, String)>,
+    /// Registered track names (`(pid, tid)` → label).
+    pub(crate) tid_names: Vec<(u32, u32, String)>,
+}
+
+impl Inner {
+    fn push(&mut self, ev: Event) {
+        self.recorded += 1;
+        if self.ring.len() < self.capacity {
+            self.ring.push(ev);
+        } else if self.capacity > 0 {
+            self.dropped += 1;
+            let at = self.head;
+            self.ring[at] = ev;
+        } else {
+            self.dropped += 1;
+            return;
+        }
+        self.head = (self.head + 1) % self.capacity.max(1);
+    }
+
+    /// Events in recording order (oldest → newest).
+    pub(crate) fn ordered(&self) -> Vec<Event> {
+        if self.ring.len() < self.capacity {
+            self.ring.clone()
+        } else {
+            let mut out = Vec::with_capacity(self.ring.len());
+            out.extend_from_slice(&self.ring[self.head..]);
+            out.extend_from_slice(&self.ring[..self.head]);
+            out
+        }
+    }
+}
+
+/// The process-global tracer. Use [`tracer`] to reach it.
+pub struct Tracer {
+    level: AtomicU8,
+    next_pid: AtomicU32,
+    epoch: Instant,
+    pub(crate) inner: Mutex<Inner>,
+}
+
+/// Default ring capacity (events) when `PQ_TRACE_BUF` is unset.
+pub const DEFAULT_RING_CAPACITY: usize = 262_144;
+
+static TRACER: OnceLock<Tracer> = OnceLock::new();
+
+/// The global tracer (created lazily, disabled until initialised).
+pub fn tracer() -> &'static Tracer {
+    TRACER.get_or_init(|| Tracer {
+        level: AtomicU8::new(Level::Off as u8),
+        next_pid: AtomicU32::new(1),
+        epoch: Instant::now(),
+        inner: Mutex::new(Inner {
+            capacity: DEFAULT_RING_CAPACITY,
+            ..Inner::default()
+        }),
+    })
+}
+
+/// Fast global check: is tracing active at `level`? One relaxed atomic
+/// load — the only cost instrumentation pays when tracing is off.
+#[inline(always)]
+pub fn enabled(level: Level) -> bool {
+    tracer().level.load(Ordering::Relaxed) >= level as u8
+}
+
+/// Initialise level and ring capacity from `PQ_TRACE` / `PQ_TRACE_BUF`.
+///
+/// Unknown `PQ_TRACE` values *warn* (on stderr and, once enabled, in
+/// the trace itself) and default to `off` — config must never be
+/// silently swallowed. Returns the effective level.
+pub fn init_from_env() -> Level {
+    let t = tracer();
+    let level = match std::env::var("PQ_TRACE") {
+        Err(_) => Level::Off,
+        Ok(raw) => match Level::parse(&raw) {
+            Some(l) => l,
+            None => {
+                eprintln!(
+                    "[pq-obs] warn: unknown PQ_TRACE={raw:?} (want off|error|warn|info|debug|trace); tracing stays off"
+                );
+                Level::Off
+            }
+        },
+    };
+    if let Ok(raw) = std::env::var("PQ_TRACE_BUF") {
+        match raw.parse::<usize>() {
+            Ok(cap) if cap > 0 => {
+                let mut inner = t.inner.lock().expect("tracer poisoned");
+                inner.capacity = cap;
+                if inner.ring.len() > cap {
+                    let ordered = inner.ordered();
+                    inner.ring = ordered[ordered.len() - cap..].to_vec();
+                    inner.head = 0;
+                }
+            }
+            _ => eprintln!("[pq-obs] warn: invalid PQ_TRACE_BUF={raw:?} (want a positive integer); keeping default"),
+        }
+    }
+    t.set_level(level);
+    level
+}
+
+impl Tracer {
+    /// Set the active level programmatically.
+    pub fn set_level(&self, level: Level) {
+        self.level.store(level as u8, Ordering::Relaxed);
+    }
+
+    /// The active level.
+    pub fn level(&self) -> Level {
+        Level::from_u8(self.level.load(Ordering::Relaxed))
+    }
+
+    /// Nanoseconds of wall time since the tracer was created — the
+    /// timestamp domain of harness (`pid 0`) events.
+    pub fn wall_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos().min(u64::MAX as u128) as u64
+    }
+
+    /// Allocate a fresh track group (Chrome-trace `pid`) labelled
+    /// `name`; `pid 0` is reserved for the harness.
+    pub fn new_pid(&self, name: &str) -> u32 {
+        let pid = self.next_pid.fetch_add(1, Ordering::Relaxed);
+        if enabled(Level::Error) {
+            let mut inner = self.inner.lock().expect("tracer poisoned");
+            inner.pid_names.push((pid, name.to_string()));
+        }
+        pid
+    }
+
+    /// Label a track (`tid`) within a group.
+    pub fn name_track(&self, pid: u32, tid: u32, name: &str) {
+        if enabled(Level::Error) {
+            let mut inner = self.inner.lock().expect("tracer poisoned");
+            inner.tid_names.push((pid, tid, name.to_string()));
+        }
+    }
+
+    fn record(&self, ev: Event) {
+        let mut inner = self.inner.lock().expect("tracer poisoned");
+        inner.push(ev);
+    }
+
+    /// Record a completed span `start_ns..end_ns`. No-op below the
+    /// active level.
+    #[allow(clippy::too_many_arguments)]
+    pub fn span(
+        &self,
+        level: Level,
+        cat: &'static str,
+        name: impl Into<String>,
+        pid: u32,
+        tid: u32,
+        start_ns: u64,
+        end_ns: u64,
+        args: Vec<(&'static str, ArgValue)>,
+    ) {
+        if !enabled(level) {
+            return;
+        }
+        self.record(Event {
+            ts_ns: start_ns,
+            dur_ns: end_ns.saturating_sub(start_ns),
+            kind: EventKind::Span,
+            level,
+            cat,
+            name: name.into(),
+            pid,
+            tid,
+            args,
+        });
+    }
+
+    /// Record an instant event.
+    #[allow(clippy::too_many_arguments)]
+    pub fn instant(
+        &self,
+        level: Level,
+        cat: &'static str,
+        name: impl Into<String>,
+        pid: u32,
+        tid: u32,
+        ts_ns: u64,
+        args: Vec<(&'static str, ArgValue)>,
+    ) {
+        if !enabled(level) {
+            return;
+        }
+        self.record(Event {
+            ts_ns,
+            dur_ns: 0,
+            kind: EventKind::Instant,
+            level,
+            cat,
+            name: name.into(),
+            pid,
+            tid,
+            args,
+        });
+    }
+
+    /// Record a counter sample (a numeric time series; renders as a
+    /// stacked area chart in Perfetto).
+    #[allow(clippy::too_many_arguments)]
+    pub fn counter(
+        &self,
+        level: Level,
+        cat: &'static str,
+        name: impl Into<String>,
+        pid: u32,
+        tid: u32,
+        ts_ns: u64,
+        value: f64,
+    ) {
+        if !enabled(level) {
+            return;
+        }
+        self.record(Event {
+            ts_ns,
+            dur_ns: 0,
+            kind: EventKind::Counter,
+            level,
+            cat,
+            name: name.into(),
+            pid,
+            tid,
+            args: vec![("value", ArgValue::F64(value))],
+        });
+    }
+
+    /// A warning that must reach the operator even with tracing off:
+    /// always printed to stderr, and recorded as a `Warn` instant on
+    /// the harness track when tracing is enabled.
+    pub fn warn(&self, cat: &'static str, msg: impl Into<String>) {
+        let msg = msg.into();
+        eprintln!("[pq-obs] warn[{cat}]: {msg}");
+        let ts = self.wall_ns();
+        self.instant(Level::Warn, cat, msg, 0, 0, ts, Vec::new());
+    }
+
+    /// Number of events currently buffered / recorded / dropped.
+    pub fn stats(&self) -> (usize, u64, u64) {
+        let inner = self.inner.lock().expect("tracer poisoned");
+        (inner.ring.len(), inner.recorded, inner.dropped)
+    }
+
+    /// Drain the buffer (oldest → newest) and reset drop counters.
+    /// Track names are kept so multi-flush sessions stay labelled.
+    pub fn drain(&self) -> Vec<Event> {
+        let mut inner = self.inner.lock().expect("tracer poisoned");
+        let out = inner.ordered();
+        inner.ring.clear();
+        inner.head = 0;
+        inner.dropped = 0;
+        out
+    }
+
+    /// Snapshot events without draining.
+    pub fn snapshot(&self) -> Vec<Event> {
+        self.inner.lock().expect("tracer poisoned").ordered()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Serialise tests that toggle the global level.
+    fn with_level<R>(level: Level, f: impl FnOnce() -> R) -> R {
+        static GUARD: Mutex<()> = Mutex::new(());
+        let _g = GUARD.lock().unwrap_or_else(|e| e.into_inner());
+        let t = tracer();
+        let prev = t.level();
+        t.set_level(level);
+        t.drain();
+        let r = f();
+        t.set_level(prev);
+        t.drain();
+        r
+    }
+
+    #[test]
+    fn disabled_records_nothing() {
+        with_level(Level::Off, || {
+            assert!(!enabled(Level::Error));
+            tracer().instant(Level::Error, "test", "x", 0, 0, 1, Vec::new());
+            assert_eq!(tracer().snapshot().len(), 0);
+        });
+    }
+
+    #[test]
+    fn level_gating() {
+        with_level(Level::Info, || {
+            assert!(enabled(Level::Warn));
+            assert!(enabled(Level::Info));
+            assert!(!enabled(Level::Debug));
+            tracer().instant(Level::Debug, "test", "hidden", 0, 0, 1, Vec::new());
+            tracer().instant(Level::Info, "test", "shown", 0, 0, 2, Vec::new());
+            let evs = tracer().snapshot();
+            assert_eq!(evs.len(), 1);
+            assert_eq!(evs[0].name, "shown");
+        });
+    }
+
+    #[test]
+    fn span_and_counter_shapes() {
+        with_level(Level::Trace, || {
+            let t = tracer();
+            t.span(
+                Level::Info,
+                "test",
+                "load",
+                1,
+                0,
+                100,
+                400,
+                vec![("bytes", 1500u64.into())],
+            );
+            t.counter(Level::Info, "test", "cwnd", 1, 2, 250, 14600.0);
+            let evs = t.drain();
+            assert_eq!(evs.len(), 2);
+            assert_eq!(evs[0].kind, EventKind::Span);
+            assert_eq!(evs[0].dur_ns, 300);
+            assert_eq!(evs[1].kind, EventKind::Counter);
+            assert_eq!(evs[1].args[0].1, ArgValue::F64(14600.0));
+        });
+    }
+
+    #[test]
+    fn ring_overwrites_oldest() {
+        with_level(Level::Info, || {
+            let t = tracer();
+            // Shrink the ring for the test, then restore.
+            let orig = {
+                let mut inner = t.inner.lock().unwrap();
+                let orig = inner.capacity;
+                inner.capacity = 4;
+                orig
+            };
+            let (_, recorded_before, _) = t.stats();
+            for i in 0..10u64 {
+                t.instant(Level::Info, "test", format!("e{i}"), 0, 0, i, Vec::new());
+            }
+            let evs = t.drain();
+            assert_eq!(evs.len(), 4);
+            assert_eq!(evs[0].name, "e6", "oldest surviving event");
+            assert_eq!(evs[3].name, "e9");
+            let (_, recorded, _) = t.stats();
+            assert_eq!(recorded - recorded_before, 10);
+            t.inner.lock().unwrap().capacity = orig;
+        });
+    }
+
+    #[test]
+    fn parse_levels() {
+        assert_eq!(Level::parse("info"), Some(Level::Info));
+        assert_eq!(Level::parse("WARN"), Some(Level::Warn));
+        assert_eq!(Level::parse("off"), Some(Level::Off));
+        assert_eq!(Level::parse("bogus"), None);
+        assert!(Level::Warn < Level::Debug);
+    }
+
+    #[test]
+    fn pid_allocation_is_unique() {
+        let a = tracer().new_pid("run a");
+        let b = tracer().new_pid("run b");
+        assert_ne!(a, b);
+        assert!(a >= 1 && b >= 1, "pid 0 reserved for the harness");
+    }
+}

@@ -109,6 +109,11 @@ pub struct Link<P> {
     loss_rng: SimRng,
     stats: LinkStats,
     tx_started_at: SimTime,
+    /// Trace track `(pid, tid)` for drop/loss instants and queue
+    /// occupancy counter samples.
+    obs_track: Option<(u32, u32)>,
+    /// Human label for trace events (`"down"` / `"up"`).
+    obs_label: &'static str,
 }
 
 impl<P> Link<P> {
@@ -122,6 +127,33 @@ impl<P> Link<P> {
             loss_rng,
             stats: LinkStats::default(),
             tx_started_at: SimTime::ZERO,
+            obs_track: None,
+            obs_label: "link",
+        }
+    }
+
+    /// Attach this link to a trace track (`pid` = the page load) with
+    /// a direction label. Drop/loss instants and queue-occupancy
+    /// counters are emitted there at `PQ_TRACE=debug` or finer.
+    pub fn set_obs_track(&mut self, pid: u32, tid: u32, label: &'static str) {
+        self.obs_track = Some((pid, tid));
+        self.obs_label = label;
+    }
+
+    /// Emit a queue-occupancy counter sample (Debug level).
+    fn obs_queue_sample(&self, now: SimTime) {
+        if let Some((pid, tid)) = self.obs_track {
+            if pq_obs::enabled(pq_obs::Level::Debug) {
+                pq_obs::tracer().counter(
+                    pq_obs::Level::Debug,
+                    "sim",
+                    format!("{} queue bytes", self.obs_label),
+                    pid,
+                    tid,
+                    now.as_nanos(),
+                    self.queue.bytes() as f64,
+                );
+            }
         }
     }
 
@@ -155,15 +187,32 @@ impl<P> Link<P> {
     pub fn push(&mut self, now: SimTime, pkt: Packet<P>) -> PushOutcome {
         self.stats.offered += 1;
         if self.in_flight.is_none() {
-            debug_assert!(self.queue.is_empty(), "idle transmitter with queued packets");
+            debug_assert!(
+                self.queue.is_empty(),
+                "idle transmitter with queued packets"
+            );
             let done = now + self.config.serialization_delay(pkt.size);
             self.in_flight = Some(pkt);
             self.tx_started_at = now;
             PushOutcome::StartedTx(done)
         } else if self.queue.push(pkt) {
+            self.obs_queue_sample(now);
             PushOutcome::Queued
         } else {
             self.stats.tail_dropped += 1;
+            if let Some((pid, tid)) = self.obs_track {
+                if pq_obs::enabled(pq_obs::Level::Debug) {
+                    pq_obs::tracer().instant(
+                        pq_obs::Level::Debug,
+                        "sim",
+                        format!("{} tail drop", self.obs_label),
+                        pid,
+                        tid,
+                        now.as_nanos(),
+                        vec![("queued_bytes", pq_obs::ArgValue::U64(self.queue.bytes()))],
+                    );
+                }
+            }
             PushOutcome::TailDropped
         }
     }
@@ -179,6 +228,19 @@ impl<P> Link<P> {
 
         let delivery = if self.loss_rng.chance(self.config.loss) {
             self.stats.lost += 1;
+            if let Some((pid, tid)) = self.obs_track {
+                if pq_obs::enabled(pq_obs::Level::Debug) {
+                    pq_obs::tracer().instant(
+                        pq_obs::Level::Debug,
+                        "sim",
+                        format!("{} random loss", self.obs_label),
+                        pid,
+                        tid,
+                        now.as_nanos(),
+                        vec![("size", pq_obs::ArgValue::U64(u64::from(pkt.size)))],
+                    );
+                }
+            }
             None
         } else {
             self.stats.delivered += 1;
@@ -200,18 +262,35 @@ impl<P> Link<P> {
     }
 }
 
+impl<P> Drop for Link<P> {
+    /// Fold this link's lifetime counters into the global metrics
+    /// registry — one batched update per link instead of per packet.
+    fn drop(&mut self) {
+        let s = &self.stats;
+        if s.offered == 0 {
+            return;
+        }
+        let reg = pq_obs::registry();
+        reg.counter_add("sim.link.offered", s.offered);
+        reg.counter_add("sim.link.delivered", s.delivered);
+        reg.counter_add("sim.link.bytes_delivered", s.bytes_delivered);
+        if s.tail_dropped > 0 {
+            reg.counter_add("sim.link.tail_dropped", s.tail_dropped);
+        }
+        if s.lost > 0 {
+            reg.counter_add("sim.link.random_lost", s.lost);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::packet::ConnId;
 
     fn mk_link(rate_bps: u64, delay_ms: u64, loss: f64, queue_ms: u64) -> Link<u32> {
-        let cfg = LinkConfig::with_queue_ms(
-            rate_bps,
-            SimDuration::from_millis(delay_ms),
-            loss,
-            queue_ms,
-        );
+        let cfg =
+            LinkConfig::with_queue_ms(rate_bps, SimDuration::from_millis(delay_ms), loss, queue_ms);
         Link::new(cfg, SimRng::new(99))
     }
 
@@ -241,7 +320,10 @@ mod tests {
     fn back_to_back_packets_queue() {
         let mut link = mk_link(12_000_000, 0, 0.0, 200);
         let t0 = SimTime::ZERO;
-        assert!(matches!(link.push(t0, pkt(1, 1500)), PushOutcome::StartedTx(_)));
+        assert!(matches!(
+            link.push(t0, pkt(1, 1500)),
+            PushOutcome::StartedTx(_)
+        ));
         assert_eq!(link.push(t0, pkt(2, 1500)), PushOutcome::Queued);
         assert_eq!(link.push(t0, pkt(3, 1500)), PushOutcome::Queued);
 
@@ -263,7 +345,10 @@ mod tests {
         // 1 Mbps with a 12 ms queue = 1500 bytes = one MTU of queue.
         let mut link = mk_link(1_000_000, 0, 0.0, 12);
         let t0 = SimTime::ZERO;
-        assert!(matches!(link.push(t0, pkt(1, 1500)), PushOutcome::StartedTx(_)));
+        assert!(matches!(
+            link.push(t0, pkt(1, 1500)),
+            PushOutcome::StartedTx(_)
+        ));
         assert_eq!(link.push(t0, pkt(2, 1500)), PushOutcome::Queued);
         assert_eq!(link.push(t0, pkt(3, 1500)), PushOutcome::TailDropped);
         assert_eq!(link.stats().tail_dropped, 1);

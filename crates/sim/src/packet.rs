@@ -60,7 +60,11 @@ pub struct Packet<P> {
 impl<P> Packet<P> {
     /// Construct a packet.
     pub fn new(conn: ConnId, size: u32, payload: P) -> Self {
-        Packet { conn, size, payload }
+        Packet {
+            conn,
+            size,
+            payload,
+        }
     }
 }
 

@@ -233,8 +233,7 @@ mod tests {
         assert_ne!(a.next_u64(), b.next_u64());
         let mut a2 = parent.fork_idx("site", 0);
         assert_eq!(SimRng::new(3).fork_idx("site", 0).next_u64(), {
-            let x = a2.next_u64();
-            x
+            a2.next_u64()
         });
     }
 

@@ -292,10 +292,7 @@ mod tests {
         let d = SimDuration::for_bytes_at_rate(1500, 12_000_000);
         assert_eq!(d, SimDuration::from_millis(1));
         // Zero rate stalls forever.
-        assert_eq!(
-            SimDuration::for_bytes_at_rate(1, 0),
-            SimDuration::MAX
-        );
+        assert_eq!(SimDuration::for_bytes_at_rate(1, 0), SimDuration::MAX);
     }
 
     #[test]

@@ -1,7 +1,10 @@
 //! Property-based tests for the simulation substrate.
 
+use pq_sim::{
+    ConnId, DropTailQueue, EventQueue, Link, LinkConfig, Packet, PushOutcome, SimDuration, SimRng,
+    SimTime,
+};
 use proptest::prelude::*;
-use pq_sim::{ConnId, DropTailQueue, EventQueue, Link, LinkConfig, Packet, PushOutcome, SimDuration, SimRng, SimTime};
 
 proptest! {
     /// The event queue always pops in non-decreasing time order, with

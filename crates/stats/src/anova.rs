@@ -134,7 +134,10 @@ mod tests {
         let s2 = [2.0];
         assert!(one_way_anova(&[&s1, &s2]).is_none(), "no residual df");
         let empty: [f64; 0] = [];
-        assert!(one_way_anova(&[&g, &empty]).is_none(), "one non-empty group");
+        assert!(
+            one_way_anova(&[&g, &empty]).is_none(),
+            "one non-empty group"
+        );
     }
 
     #[test]

@@ -39,8 +39,7 @@ pub fn welch_t_test(xs: &[f64], ys: &[f64]) -> Option<TTestResult> {
     }
     let t = (mean(xs) - mean(ys)) / se2.sqrt();
     // Welch–Satterthwaite degrees of freedom.
-    let df = se2 * se2
-        / ((vx / nx) * (vx / nx) / (nx - 1.0) + (vy / ny) * (vy / ny) / (ny - 1.0));
+    let df = se2 * se2 / ((vx / nx) * (vx / nx) / (nx - 1.0) + (vy / ny) * (vy / ny) / (ny - 1.0));
     let p = 2.0 * (1.0 - t_cdf(t.abs(), df));
     Some(TTestResult { t, df, p })
 }
@@ -107,7 +106,9 @@ mod tests {
     #[test]
     fn welch_matches_hand_formula() {
         let a = [27.5, 21.0, 19.0, 23.6, 17.0, 17.9, 16.9, 20.1, 21.9, 22.6];
-        let b = [27.1, 22.0, 20.8, 23.4, 23.4, 23.5, 25.8, 22.0, 24.8, 20.2, 21.9, 22.1];
+        let b = [
+            27.1, 22.0, 20.8, 23.4, 23.4, 23.5, 25.8, 22.0, 24.8, 20.2, 21.9, 22.1,
+        ];
         let w = welch_t_test(&a, &b).unwrap();
         // Recompute the statistic from first principles.
         let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
@@ -137,7 +138,10 @@ mod tests {
     #[test]
     fn degenerate_inputs() {
         assert!(welch_t_test(&[1.0], &[2.0, 3.0]).is_none());
-        assert!(welch_t_test(&[1.0, 1.0], &[1.0, 1.0]).is_none(), "zero variance");
+        assert!(
+            welch_t_test(&[1.0, 1.0], &[1.0, 1.0]).is_none(),
+            "zero variance"
+        );
         assert!(student_t_test(&[], &[]).is_none());
     }
 }

@@ -1,10 +1,10 @@
 //! Property-based tests for the statistics toolkit.
 
-use proptest::prelude::*;
 use pq_stats::{
-    beta_inc, f_cdf, mean, median, normal_cdf, one_way_anova, pearson, quantile, spearman,
-    t_cdf, t_interval, variance,
+    beta_inc, f_cdf, mean, median, normal_cdf, one_way_anova, pearson, quantile, spearman, t_cdf,
+    t_interval, variance,
 };
+use proptest::prelude::*;
 
 proptest! {
     /// CDFs are monotone and bounded in [0, 1].
@@ -79,10 +79,7 @@ proptest! {
         let xs: Vec<f64> = pairs.iter().map(|p| p.0).collect();
         let ys: Vec<f64> = pairs.iter().map(|p| p.1).collect();
         let cubed: Vec<f64> = xs.iter().map(|x| x.powi(3)).collect();
-        match (spearman(&xs, &ys), spearman(&cubed, &ys)) {
-            (Some(r1), Some(r2)) => prop_assert!((r1 - r2).abs() < 1e-9),
-            _ => {}
-        }
+        if let (Some(r1), Some(r2)) = (spearman(&xs, &ys), spearman(&cubed, &ys)) { prop_assert!((r1 - r2).abs() < 1e-9) }
     }
 
     /// ANOVA p-values live in [0, 1] and permuting group labels of

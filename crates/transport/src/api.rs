@@ -76,6 +76,16 @@ impl Connection {
         }
     }
 
+    /// Attach the connection to a trace track (`pid` = the page load,
+    /// `tid` = this connection's row). Sender-side congestion counters,
+    /// retransmit/RTO instants and the handshake span land there.
+    pub fn set_obs_track(&mut self, pid: u32, tid: u32) {
+        match self {
+            Connection::Tcp(c) => c.set_obs_track(pid, tid),
+            Connection::Quic(c) => c.set_obs_track(pid, tid),
+        }
+    }
+
     /// Deliver an arrived packet (`Direction::Up` = arrived at the
     /// server endpoint).
     pub fn on_packet(&mut self, now: SimTime, wire: &Wire, arrived: Direction) {

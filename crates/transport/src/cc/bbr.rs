@@ -189,8 +189,7 @@ impl CongestionControl for Bbr {
 
         // min_rtt filter.
         if let Some(rtt) = ack.rtt {
-            let expired =
-                now.saturating_since(self.min_rtt_stamp) > MIN_RTT_WINDOW;
+            let expired = now.saturating_since(self.min_rtt_stamp) > MIN_RTT_WINDOW;
             if self.min_rtt.is_none() || expired || Some(rtt) <= self.min_rtt {
                 self.min_rtt = Some(rtt);
                 self.min_rtt_stamp = now;

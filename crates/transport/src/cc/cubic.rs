@@ -95,6 +95,10 @@ impl CongestionControl for Cubic {
         self.cwnd
     }
 
+    fn ssthresh(&self) -> Option<u64> {
+        Some(self.ssthresh)
+    }
+
     fn on_ack(&mut self, ack: &AckInfo) {
         if self.cwnd < self.ssthresh {
             // Slow start: one MSS per ACKed MSS (byte counting).
@@ -136,8 +140,8 @@ impl CongestionControl for Cubic {
         } else {
             // In the "TCP-friendly concave plateau": creep up slowly
             // (1 % of a segment per ACK, mirroring the RFC's minimum).
-            self.cwnd += (self.mss as f64 * 0.01 * ack.acked_bytes as f64
-                / self.cwnd.max(1) as f64) as u64;
+            self.cwnd +=
+                (self.mss as f64 * 0.01 * ack.acked_bytes as f64 / self.cwnd.max(1) as f64) as u64;
         }
     }
 
@@ -186,7 +190,10 @@ impl CongestionControl for Cubic {
     }
 
     fn clamp_cwnd(&mut self, max_cwnd: u64) {
-        self.cwnd = self.cwnd.min(max_cwnd).max(self.min_cwnd.min(self.initial_window));
+        self.cwnd = self
+            .cwnd
+            .min(max_cwnd)
+            .max(self.min_cwnd.min(self.initial_window));
     }
 }
 
@@ -263,7 +270,12 @@ mod tests {
         let w_max_1 = c.w_max;
         // Second loss below the previous maximum.
         c.on_congestion_event(SimTime::from_millis(100), 0);
-        assert!(c.w_max < w_max_1, "fast convergence: {} !< {}", c.w_max, w_max_1);
+        assert!(
+            c.w_max < w_max_1,
+            "fast convergence: {} !< {}",
+            c.w_max,
+            w_max_1
+        );
     }
 
     #[test]

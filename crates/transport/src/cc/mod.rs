@@ -61,6 +61,13 @@ pub trait CongestionControl: std::fmt::Debug + Send {
     /// Algorithm name for traces and reports.
     fn name(&self) -> &'static str;
 
+    /// Slow-start threshold in bytes, when the algorithm maintains one
+    /// (Cubic); `None` otherwise (BBR has no ssthresh). Used by the
+    /// observability layer's counter charts.
+    fn ssthresh(&self) -> Option<u64> {
+        None
+    }
+
     /// Clamp the window (used by idle-restart: `cwnd = min(cwnd, IW)`).
     fn clamp_cwnd(&mut self, max_cwnd: u64);
 }

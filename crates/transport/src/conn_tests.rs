@@ -161,7 +161,11 @@ fn quic_multiplexes_streams_independently() {
     w.request(SimTime::ZERO, 5, 400, 50_000);
     w.run_until(HORIZON);
     for s in [1, 3, 5] {
-        assert!(w.stream_done(s, 50_000), "stream {s}: {:?}", w.client_progress);
+        assert!(
+            w.stream_done(s, 50_000),
+            "stream {s}: {:?}",
+            w.client_progress
+        );
         let (_, fin, _) = w.client_progress[&s];
         assert!(fin, "stream {s} saw FIN");
     }
@@ -234,7 +238,6 @@ fn handshake_survives_loss_of_first_flight() {
     }
 }
 
-
 /// Diagnostic (run with --ignored): single-connection MSS transfer
 /// times per stack.
 #[test]
@@ -247,7 +250,14 @@ fn dbg_mss_throughput() {
             let (_, done) = fetch_once(proto, &net, 3000 + seed, 500_000, HORIZON);
             times.push(done.as_secs_f64());
         }
-        println!("{}: {:?}", proto.label(), times.iter().map(|t| (t*10.0).round()/10.0).collect::<Vec<_>>());
+        println!(
+            "{}: {:?}",
+            proto.label(),
+            times
+                .iter()
+                .map(|t| (t * 10.0).round() / 10.0)
+                .collect::<Vec<_>>()
+        );
     }
 }
 
@@ -265,12 +275,27 @@ fn dbg_mss_cwnd_timeline() {
         for step in 1..=12 {
             w.run_until(SimTime::from_secs(step * 2));
             let (cwnd, srtt, events) = match &w.conn {
-                Connection::Tcp(t) => (t.server_cwnd(), t.server_srtt(), t.server_congestion_events()),
-                Connection::Quic(q) => (q.server_cwnd(), q.server_srtt(), q.server_congestion_events()),
+                Connection::Tcp(t) => (
+                    t.server_cwnd(),
+                    t.server_srtt(),
+                    t.server_congestion_events(),
+                ),
+                Connection::Quic(q) => (
+                    q.server_cwnd(),
+                    q.server_srtt(),
+                    q.server_congestion_events(),
+                ),
             };
             let key = if proto.is_quic() { 1 } else { 0 };
             let prog = w.client_progress.get(&key).map(|(d, _, _)| *d).unwrap_or(0);
-            print!("[t{}s cwnd {}K prog {}K ev {} srtt {:.0}ms] ", step*2, cwnd/1000, prog/1000, events, srtt.map(|s| s.as_millis_f64()).unwrap_or(0.0));
+            print!(
+                "[t{}s cwnd {}K prog {}K ev {} srtt {:.0}ms] ",
+                step * 2,
+                cwnd / 1000,
+                prog / 1000,
+                events,
+                srtt.map(|s| s.as_millis_f64()).unwrap_or(0.0)
+            );
         }
         println!();
     }
@@ -304,6 +329,3 @@ fn zero_rtt_saves_a_round_trip() {
         );
     }
 }
-
-
-

@@ -29,6 +29,7 @@
 pub mod api;
 pub mod cc;
 pub mod config;
+pub(crate) mod obs;
 pub mod pacing;
 pub mod quic;
 pub mod rangeset;

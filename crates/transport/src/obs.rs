@@ -1,0 +1,103 @@
+//! Per-connection observability hooks shared by both stacks.
+//!
+//! Each sender half carries an optional trace track `(pid, tid)` —
+//! `pid` is the page load, `tid` the connection row. When tracing is
+//! off every hook is one relaxed atomic load; the formatting and the
+//! ring push only happen at the requested level.
+//!
+//! Levels follow the crate-wide convention:
+//!
+//! * **Info** — cwnd / ssthresh / sRTT counter samples (one per
+//!   processed ACK), retransmit and RTO instants, handshake spans.
+//! * **Debug** — pacing holds (a send deferred by the pacer).
+
+use pq_obs::{ArgValue, Level};
+use pq_sim::{SimDuration, SimTime};
+
+/// Trace destination: `(pid, tid)` when attached, `None` otherwise.
+pub(crate) type Track = Option<(u32, u32)>;
+
+/// Emit Info-level congestion counters after an ACK was processed.
+pub(crate) fn ack_counters(
+    track: Track,
+    now: SimTime,
+    dir: &'static str,
+    cwnd: u64,
+    ssthresh: Option<u64>,
+    srtt: Option<SimDuration>,
+) {
+    let Some((pid, tid)) = track else { return };
+    if !pq_obs::enabled(Level::Info) {
+        return;
+    }
+    let t = pq_obs::tracer();
+    let ts = now.as_nanos();
+    t.counter(
+        Level::Info,
+        "transport",
+        format!("cwnd {dir}"),
+        pid,
+        tid,
+        ts,
+        cwnd as f64,
+    );
+    if let Some(ss) = ssthresh {
+        // Cubic's initial ssthresh is "infinite"; skip the sentinel so
+        // the counter chart stays readable.
+        if ss < u64::MAX / 2 {
+            t.counter(
+                Level::Info,
+                "transport",
+                format!("ssthresh {dir}"),
+                pid,
+                tid,
+                ts,
+                ss as f64,
+            );
+        }
+    }
+    if let Some(rtt) = srtt {
+        t.counter(
+            Level::Info,
+            "transport",
+            format!("srtt_ms {dir}"),
+            pid,
+            tid,
+            ts,
+            rtt.as_millis_f64(),
+        );
+    }
+}
+
+/// Emit an instant event (retransmit, RTO, pacing hold) on the track.
+pub(crate) fn instant(
+    track: Track,
+    level: Level,
+    now: SimTime,
+    name: impl FnOnce() -> String,
+    args: impl FnOnce() -> Vec<(&'static str, ArgValue)>,
+) {
+    let Some((pid, tid)) = track else { return };
+    if !pq_obs::enabled(level) {
+        return;
+    }
+    pq_obs::tracer().instant(level, "transport", name(), pid, tid, now.as_nanos(), args());
+}
+
+/// Emit the connection-establishment span `opened..now`.
+pub(crate) fn handshake_span(track: Track, opened: SimTime, now: SimTime, proto: &'static str) {
+    let Some((pid, tid)) = track else { return };
+    if !pq_obs::enabled(Level::Info) {
+        return;
+    }
+    pq_obs::tracer().span(
+        Level::Info,
+        "transport",
+        "handshake",
+        pid,
+        tid,
+        opened.as_nanos(),
+        now.as_nanos(),
+        vec![("protocol", ArgValue::Str(proto.to_string()))],
+    );
+}

@@ -122,6 +122,8 @@ struct QuicEndpoint {
     pacing_cfg: bool,
     /// Congestion events (cwnd reductions) — diagnostics.
     congestion_events: u64,
+    /// Trace track for cwnd counters / loss instants (`None` = off).
+    obs: crate::obs::Track,
 }
 
 impl QuicEndpoint {
@@ -141,7 +143,9 @@ impl QuicEndpoint {
             ooo_pending: false,
             send_streams: BTreeMap::new(),
             recv_streams: BTreeMap::new(),
-            cc: cfg.cc.build(cfg.mss, cfg.initial_window_bytes(), cfg.cubic_connections),
+            cc: cfg
+                .cc
+                .build(cfg.mss, cfg.initial_window_bytes(), cfg.cubic_connections),
             pacer: Pacer::new(cfg.mss, 10, 2),
             rtt: RttEstimator::new(),
             rate: RateSampler::new(),
@@ -152,6 +156,16 @@ impl QuicEndpoint {
             retransmits: 0,
             pacing_cfg: cfg.pacing,
             congestion_events: 0,
+            obs: None,
+        }
+    }
+
+    /// Direction label for trace-event names.
+    fn dir_label(&self) -> &'static str {
+        if self.is_client {
+            "up"
+        } else {
+            "down"
         }
     }
 
@@ -244,19 +258,28 @@ impl QuicEndpoint {
             }
 
             // Estimate the packet size for gating.
-            let est_size: u64 = if hs { 1364 } else { chunk.map_or(80, |c| u64::from(c.2) + 80) };
+            let est_size: u64 = if hs {
+                1364
+            } else {
+                chunk.map_or(80, |c| u64::from(c.2) + 80)
+            };
 
             if !ack_only {
                 // Min-one-packet rule: with nothing in flight a sender
                 // may always emit one packet, or a collapsed cwnd
                 // (below one handshake packet) would deadlock.
-                if self.bytes_in_flight > 0
-                    && self.bytes_in_flight + est_size > self.cc.cwnd()
-                {
+                if self.bytes_in_flight > 0 && self.bytes_in_flight + est_size > self.cc.cwnd() {
                     break;
                 }
                 let release = self.pacer.release_time(now, est_size);
                 if release > now {
+                    crate::obs::instant(
+                        self.obs,
+                        pq_obs::Level::Debug,
+                        now,
+                        || format!("pacing hold {}", self.dir_label()),
+                        || vec![("wait_ns", pq_obs::ArgValue::U64((release - now).as_nanos()))],
+                    );
                     self.pacing_at = Some(release);
                     break;
                 }
@@ -285,10 +308,22 @@ impl QuicEndpoint {
                     s.lost.remove(offset, offset + u64::from(len));
                     self.retransmits += 1;
                     out.push(Output::Trace(TraceKind::Retransmit, id));
+                    crate::obs::instant(
+                        self.obs,
+                        pq_obs::Level::Info,
+                        now,
+                        || format!("retransmit {}", self.dir_label()),
+                        || vec![("stream", pq_obs::ArgValue::U64(id))],
+                    );
                 } else {
                     s.next_offset = offset + u64::from(len);
                 }
-                frames.push(QuicFrame::Stream { id, offset, len, fin });
+                frames.push(QuicFrame::Stream {
+                    id,
+                    offset,
+                    len,
+                    fin,
+                });
                 sent_frames.push(SentFrame::Stream { id, offset, len });
             }
 
@@ -355,7 +390,13 @@ impl QuicEndpoint {
     }
 
     /// Process an ACK frame from the peer.
-    fn on_ack_frame(&mut self, now: SimTime, ranges: &[Range], conn: ConnId, out: &mut Vec<Output>) {
+    fn on_ack_frame(
+        &mut self,
+        now: SimTime,
+        ranges: &[Range],
+        conn: ConnId,
+        out: &mut Vec<Output>,
+    ) {
         let mut newly_acked_bytes = 0u64;
         let mut rtt_sample = None;
         let mut rate_sample = None;
@@ -442,6 +483,14 @@ impl QuicEndpoint {
                 rate: rate_sample,
                 in_flight: self.bytes_in_flight,
             });
+            crate::obs::ack_counters(
+                self.obs,
+                now,
+                self.dir_label(),
+                self.cc.cwnd(),
+                self.cc.ssthresh(),
+                self.rtt.srtt(),
+            );
         }
 
         self.rto_at = if self.sent.values().any(|s| s.ack_eliciting) {
@@ -475,6 +524,13 @@ impl QuicEndpoint {
 
     fn on_rto(&mut self, now: SimTime, conn: ConnId, out: &mut Vec<Output>) {
         out.push(Output::Trace(TraceKind::Rto, self.next_pn));
+        crate::obs::instant(
+            self.obs,
+            pq_obs::Level::Info,
+            now,
+            || format!("RTO {}", self.dir_label()),
+            Vec::new,
+        );
         self.rtt.on_rto_fired();
         self.cc.on_rto(now);
         // Declare everything outstanding lost.
@@ -493,7 +549,10 @@ impl QuicEndpoint {
 
     fn poll_at(&self) -> SimTime {
         let mut t = SimTime::MAX;
-        for x in [self.rto_at, self.pacing_at, self.ack_at].into_iter().flatten() {
+        for x in [self.rto_at, self.pacing_at, self.ack_at]
+            .into_iter()
+            .flatten()
+        {
             t = t.min(x);
         }
         t
@@ -510,6 +569,12 @@ pub struct QuicConnection {
     established_server: bool,
     shlo_recv: u8,
     out: Vec<Output>,
+    /// When the connection was opened (handshake-span start).
+    opened_at: SimTime,
+    /// Protocol label for the handshake span.
+    proto_label: &'static str,
+    /// Trace track for connection-level spans.
+    obs_track: crate::obs::Track,
 }
 
 impl QuicConnection {
@@ -529,6 +594,9 @@ impl QuicConnection {
             established_server: false,
             shlo_recv: 0,
             out: Vec::new(),
+            opened_at: now,
+            proto_label: cfg.protocol.label(),
+            obs_track: None,
         };
         if zero_rtt {
             conn.out.push(Output::HandshakeDone);
@@ -542,6 +610,15 @@ impl QuicConnection {
     /// The connection id.
     pub fn id(&self) -> ConnId {
         self.id
+    }
+
+    /// Attach the connection to a trace track (`pid` = the page load,
+    /// `tid` = this connection's row): enables cwnd/ssthresh/sRTT
+    /// counters, retransmit/RTO instants and the handshake span.
+    pub fn set_obs_track(&mut self, pid: u32, tid: u32) {
+        self.obs_track = Some((pid, tid));
+        self.client.obs = Some((pid, tid));
+        self.server.obs = Some((pid, tid));
     }
 
     /// True once the client may send stream data.
@@ -609,7 +686,12 @@ impl QuicConnection {
                     got_shlo_parts += 1;
                     shlo_of = *of;
                 }
-                QuicFrame::Stream { id, offset, len, fin } => {
+                QuicFrame::Stream {
+                    id,
+                    offset,
+                    len,
+                    fin,
+                } => {
                     let rs = ep.recv_streams.entry(*id).or_default();
                     let end = offset + u64::from(*len);
                     if *fin {
@@ -684,6 +766,7 @@ impl QuicConnection {
                 self.established_client = true;
                 self.out.push(Output::HandshakeDone);
                 self.out.push(Output::Trace(TraceKind::HandshakeDone, 0));
+                crate::obs::handshake_span(self.obs_track, self.opened_at, now, self.proto_label);
                 let mut out = Vec::new();
                 self.client.try_send(now, id, &mut out);
                 self.out.extend(out);
@@ -717,7 +800,11 @@ impl QuicConnection {
     pub fn on_wake(&mut self, now: SimTime) {
         let id = self.id;
         for is_client in [true, false] {
-            let ep = if is_client { &mut self.client } else { &mut self.server };
+            let ep = if is_client {
+                &mut self.client
+            } else {
+                &mut self.server
+            };
             if ep.rto_at.is_some_and(|t| t <= now) {
                 ep.on_rto(now, id, &mut self.out);
             }
@@ -775,8 +862,15 @@ impl QuicConnection {
 
     /// True when both endpoints have nothing left to send or await.
     pub fn quiescent(&self) -> bool {
-        self.client.send_streams.values().all(SendStream::fully_acked)
-            && self.server.send_streams.values().all(SendStream::fully_acked)
+        self.client
+            .send_streams
+            .values()
+            .all(SendStream::fully_acked)
+            && self
+                .server
+                .send_streams
+                .values()
+                .all(SendStream::fully_acked)
     }
 }
 
@@ -811,11 +905,7 @@ mod tests {
         let out = sent(&mut c);
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].0, Direction::Up);
-        assert!(out[0]
-            .1
-            .frames
-            .iter()
-            .any(|f| matches!(f, QuicFrame::Chlo)));
+        assert!(out[0].1.frames.iter().any(|f| matches!(f, QuicFrame::Chlo)));
         assert!(!c.is_established());
     }
 
@@ -841,7 +931,11 @@ mod tests {
     fn duplicate_packets_are_ignored() {
         let mut c = conn(Protocol::Quic);
         let chlo = sent(&mut c).remove(0).1;
-        c.on_packet(SimTime::from_millis(12), &Wire::Quic(chlo.clone()), Direction::Up);
+        c.on_packet(
+            SimTime::from_millis(12),
+            &Wire::Quic(chlo.clone()),
+            Direction::Up,
+        );
         let first = sent(&mut c).len();
         assert!(first >= 2);
         c.on_packet(SimTime::from_millis(13), &Wire::Quic(chlo), Direction::Up);
@@ -856,18 +950,33 @@ mod tests {
         let pkt = |pn, id, offset, len, fin| QuicPacket {
             from_client: false,
             pn,
-            frames: vec![QuicFrame::Stream { id, offset, len, fin }],
+            frames: vec![QuicFrame::Stream {
+                id,
+                offset,
+                len,
+                fin,
+            }],
         };
         // Stream 5 has a hole; stream 7 is complete.
-        c.on_packet(SimTime::from_millis(1), &Wire::Quic(pkt(10, 5, 1000, 500, true)), Direction::Down);
-        c.on_packet(SimTime::from_millis(2), &Wire::Quic(pkt(11, 7, 0, 300, true)), Direction::Down);
+        c.on_packet(
+            SimTime::from_millis(1),
+            &Wire::Quic(pkt(10, 5, 1000, 500, true)),
+            Direction::Down,
+        );
+        c.on_packet(
+            SimTime::from_millis(2),
+            &Wire::Quic(pkt(11, 7, 0, 300, true)),
+            Direction::Down,
+        );
         let progress: Vec<(u64, u64, bool)> = c
             .take_outputs()
             .iter()
             .filter_map(|o| match o {
-                Output::ClientStreamProgress { stream, delivered, fin } => {
-                    Some((stream.0, *delivered, *fin))
-                }
+                Output::ClientStreamProgress {
+                    stream,
+                    delivered,
+                    fin,
+                } => Some((stream.0, *delivered, *fin)),
                 _ => None,
             })
             .collect();
@@ -891,7 +1000,12 @@ mod tests {
             let p = QuicPacket {
                 from_client: false,
                 pn,
-                frames: vec![QuicFrame::Stream { id: 5, offset: pn * 100, len: 50, fin: false }],
+                frames: vec![QuicFrame::Stream {
+                    id: 5,
+                    offset: pn * 100,
+                    len: 50,
+                    fin: false,
+                }],
             };
             c.on_packet(SimTime::from_millis(pn), &Wire::Quic(p), Direction::Down);
         }
@@ -905,7 +1019,10 @@ mod tests {
             .max()
             .expect("acks were sent");
         assert!(max_ranges <= MAX_ACK_RANGES, "ranges bounded: {max_ranges}");
-        assert!(max_ranges > 3, "still far richer than TCP SACK: {max_ranges}");
+        assert!(
+            max_ranges > 3,
+            "still far richer than TCP SACK: {max_ranges}"
+        );
     }
 
     #[test]
@@ -917,7 +1034,9 @@ mod tests {
             SimTime::ZERO,
         );
         assert!(conn.is_established());
-        let Connection::Quic(q) = &mut conn else { unreachable!() };
+        let Connection::Quic(q) = &mut conn else {
+            unreachable!()
+        };
         q.client_open_stream(SimTime::ZERO, StreamId(5), 400);
         let packets: Vec<_> = conn
             .take_outputs()

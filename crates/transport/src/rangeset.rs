@@ -71,9 +71,7 @@ impl RangeSet {
             return 0;
         }
         // Find the first range that could interact (ends at or after start).
-        let mut i = self
-            .ranges
-            .partition_point(|r| r.end < start);
+        let mut i = self.ranges.partition_point(|r| r.end < start);
         let mut new_start = start;
         let mut new_end = end;
         let mut covered_before = 0u64;
@@ -94,7 +92,8 @@ impl RangeSet {
         // Also merge with a preceding range that exactly touches.
         if i > 0 && self.ranges[i - 1].end == new_start {
             let prev = self.ranges[i - 1];
-            self.ranges.splice(i - 1..=i, [Range::new(prev.start, new_end)]);
+            self.ranges
+                .splice(i - 1..=i, [Range::new(prev.start, new_end)]);
             i -= 1;
         }
         let _ = i;
@@ -202,7 +201,10 @@ impl RangeSet {
     #[cfg(test)]
     fn check_invariants(&self) {
         for w in self.ranges.windows(2) {
-            assert!(w[0].end < w[1].start, "ranges must be disjoint and non-adjacent: {self:?}");
+            assert!(
+                w[0].end < w[1].start,
+                "ranges must be disjoint and non-adjacent: {self:?}"
+            );
         }
         for r in &self.ranges {
             assert!(r.start < r.end, "empty range stored: {self:?}");

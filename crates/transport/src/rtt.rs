@@ -48,7 +48,11 @@ impl RttEstimator {
                 self.rttvar = sample / 2;
             }
             Some(srtt) => {
-                let diff = if srtt > sample { srtt - sample } else { sample - srtt };
+                let diff = if srtt > sample {
+                    srtt - sample
+                } else {
+                    sample - srtt
+                };
                 // rttvar = 3/4 rttvar + 1/4 |srtt - sample|
                 self.rttvar = (self.rttvar * 3 + diff) / 4;
                 // srtt = 7/8 srtt + 1/8 sample

@@ -86,6 +86,8 @@ struct TcpSender {
     retransmits: u64,
     /// Congestion events (cwnd reductions) — diagnostics.
     congestion_events: u64,
+    /// Trace track for cwnd counters / loss instants (`None` = off).
+    obs: crate::obs::Track,
 }
 
 impl TcpSender {
@@ -100,7 +102,9 @@ impl TcpSender {
             bytes_in_flight: 0,
             sacked: RangeSet::new(),
             lost: RangeSet::new(),
-            cc: cfg.cc.build(cfg.mss, cfg.initial_window_bytes(), cfg.cubic_connections),
+            cc: cfg
+                .cc
+                .build(cfg.mss, cfg.initial_window_bytes(), cfg.cubic_connections),
             pacer: Pacer::new(cfg.mss, 10, 2),
             rtt: RttEstimator::new(),
             rate: RateSampler::new(),
@@ -114,6 +118,16 @@ impl TcpSender {
             initial_window: cfg.initial_window_bytes(),
             retransmits: 0,
             congestion_events: 0,
+            obs: None,
+        }
+    }
+
+    /// Direction label for trace-event names.
+    fn dir_label(&self) -> &'static str {
+        if self.from_client {
+            "up"
+        } else {
+            "down"
         }
     }
 
@@ -182,9 +196,7 @@ impl TcpSender {
             // 2. congestion window gate. When nothing is in flight the
             // sender may always emit one segment (otherwise a cwnd
             // collapsed below one MSS would deadlock the connection).
-            if self.bytes_in_flight > 0
-                && self.bytes_in_flight + u64::from(len) > self.cc.cwnd()
-            {
+            if self.bytes_in_flight > 0 && self.bytes_in_flight + u64::from(len) > self.cc.cwnd() {
                 break;
             }
 
@@ -192,6 +204,13 @@ impl TcpSender {
             if self.pacing_enabled() {
                 let release = self.pacer.release_time(now, u64::from(len));
                 if release > now {
+                    crate::obs::instant(
+                        self.obs,
+                        pq_obs::Level::Debug,
+                        now,
+                        || format!("pacing hold {}", self.dir_label()),
+                        || vec![("wait_ns", pq_obs::ArgValue::U64((release - now).as_nanos()))],
+                    );
                     self.pacing_at = Some(release);
                     break;
                 }
@@ -203,6 +222,13 @@ impl TcpSender {
                 self.lost.remove(seq, end);
                 self.retransmits += 1;
                 out.push(Output::Trace(TraceKind::Retransmit, seq));
+                crate::obs::instant(
+                    self.obs,
+                    pq_obs::Level::Info,
+                    now,
+                    || format!("retransmit {}", self.dir_label()),
+                    || vec![("seq", pq_obs::ArgValue::U64(seq))],
+                );
             }
             self.pacer.on_send(now, u64::from(len));
             self.inflight.insert(
@@ -245,7 +271,14 @@ impl TcpSender {
     }
 
     /// Process an ACK for this direction's data.
-    fn on_ack(&mut self, now: SimTime, cum: u64, sacks: &[Range], cfg_pacing: bool, out: &mut Vec<Output>) {
+    fn on_ack(
+        &mut self,
+        now: SimTime,
+        cum: u64,
+        sacks: &[Range],
+        cfg_pacing: bool,
+        out: &mut Vec<Output>,
+    ) {
         let mut newly_acked = 0u64;
         let mut rtt_sample: Option<SimDuration> = None;
         let mut rate_sample = None;
@@ -255,17 +288,12 @@ impl TcpSender {
             newly_acked += cum - self.snd_una;
             // Drop covered segments, sampling from the newest
             // non-retransmitted one (Karn's rule).
-            let covered: Vec<u64> = self
-                .inflight
-                .range(..cum)
-                .map(|(s, _)| *s)
-                .collect();
+            let covered: Vec<u64> = self.inflight.range(..cum).map(|(s, _)| *s).collect();
             for start in covered {
                 let seg = self.inflight[&start];
                 if seg.end <= cum {
                     self.inflight.remove(&start);
-                    self.bytes_in_flight =
-                        self.bytes_in_flight.saturating_sub(seg.end - start);
+                    self.bytes_in_flight = self.bytes_in_flight.saturating_sub(seg.end - start);
                     if !seg.retx {
                         rtt_sample = Some(now - seg.sent_at);
                     }
@@ -278,8 +306,7 @@ impl TcpSender {
                     // Partial coverage (a retransmission chunk spanned
                     // the ACK point): shrink the segment.
                     let mut seg = self.inflight.remove(&start).unwrap();
-                    self.bytes_in_flight =
-                        self.bytes_in_flight.saturating_sub(cum - start);
+                    self.bytes_in_flight = self.bytes_in_flight.saturating_sub(cum - start);
                     self.track_delivered(seg.sent_at, start);
                     let sample = self.rate.on_ack(now, cum - start, seg.tx);
                     if sample.is_some() {
@@ -311,8 +338,7 @@ impl TcpSender {
                     .collect();
                 for start in covered {
                     let seg = self.inflight.remove(&start).unwrap();
-                    self.bytes_in_flight =
-                        self.bytes_in_flight.saturating_sub(seg.end - start);
+                    self.bytes_in_flight = self.bytes_in_flight.saturating_sub(seg.end - start);
                     if !seg.retx {
                         rtt_sample = Some(now - seg.sent_at);
                     }
@@ -381,6 +407,14 @@ impl TcpSender {
                 rate: rate_sample,
                 in_flight: self.bytes_in_flight,
             });
+            crate::obs::ack_counters(
+                self.obs,
+                now,
+                self.dir_label(),
+                self.cc.cwnd(),
+                self.cc.ssthresh(),
+                self.rtt.srtt(),
+            );
         }
 
         // Re-arm or clear the RTO.
@@ -402,6 +436,13 @@ impl TcpSender {
     /// Fire the retransmission timeout.
     fn on_rto(&mut self, now: SimTime, cfg_pacing: bool, out: &mut Vec<Output>) {
         out.push(Output::Trace(TraceKind::Rto, self.snd_una));
+        crate::obs::instant(
+            self.obs,
+            pq_obs::Level::Info,
+            now,
+            || format!("RTO {}", self.dir_label()),
+            Vec::new,
+        );
         self.rtt.on_rto_fired();
         self.cc.on_rto(now);
         // Everything unSACKed in flight is presumed lost.
@@ -457,7 +498,7 @@ impl TcpReceiver {
             delack_at: None,
             segs_since_ack: 0,
             total_segs: 0,
-        reported: 0,
+            reported: 0,
         }
     }
 
@@ -539,6 +580,10 @@ pub struct TcpConnection {
     s2c_snd: TcpSender,
     s2c_rcv: TcpReceiver,
     out: Vec<Output>,
+    /// When the connection was opened (handshake-span start).
+    opened_at: SimTime,
+    /// Trace track for connection-level spans.
+    obs_track: crate::obs::Track,
 }
 
 impl TcpConnection {
@@ -550,7 +595,11 @@ impl TcpConnection {
         let zero_rtt = cfg.zero_rtt;
         let mut conn = TcpConnection {
             id,
-            hs: if zero_rtt { HsState::Established } else { HsState::SynSent },
+            hs: if zero_rtt {
+                HsState::Established
+            } else {
+                HsState::SynSent
+            },
             flight_recv: 0,
             server_established: false,
             hs_timer: Some(now + SimDuration::from_secs(1)),
@@ -566,6 +615,8 @@ impl TcpConnection {
             s2c_rcv: TcpReceiver::new(cfg.max_sack_blocks),
             cfg,
             out: Vec::new(),
+            opened_at: now,
+            obs_track: None,
         };
         conn.send_ctl(true, TcpSegKind::Syn);
         if zero_rtt {
@@ -580,6 +631,15 @@ impl TcpConnection {
     /// The connection id.
     pub fn id(&self) -> ConnId {
         self.id
+    }
+
+    /// Attach the connection to a trace track (`pid` = the page load,
+    /// `tid` = this connection's row): enables cwnd/ssthresh/sRTT
+    /// counters, retransmit/RTO instants and the handshake span.
+    pub fn set_obs_track(&mut self, pid: u32, tid: u32) {
+        self.obs_track = Some((pid, tid));
+        self.c2s_snd.obs = Some((pid, tid));
+        self.s2c_snd.obs = Some((pid, tid));
     }
 
     /// True once the client may send application data.
@@ -610,9 +670,15 @@ impl TcpConnection {
 
     fn send_ctl(&mut self, from_client: bool, kind: TcpSegKind) {
         let seg = TcpSegment { from_client, kind };
-        let dir = if from_client { Direction::Up } else { Direction::Down };
-        self.out
-            .push(Output::Send(dir, Packet::new(self.id, seg.wire_size(), Wire::Tcp(seg))));
+        let dir = if from_client {
+            Direction::Up
+        } else {
+            Direction::Down
+        };
+        self.out.push(Output::Send(
+            dir,
+            Packet::new(self.id, seg.wire_size(), Wire::Tcp(seg)),
+        ));
     }
 
     /// Client writes `bytes` of application data (e.g. an HTTP/2
@@ -663,14 +729,12 @@ impl TcpConnection {
                 self.send_ctl(false, TcpSegKind::SynAck);
                 self.srv_hs_timer = Some(now + SimDuration::from_secs(1));
             }
-            (TcpSegKind::SynAck, Direction::Down) => {
-                if self.hs == HsState::SynSent {
-                    self.c2s_snd.rtt.on_sample(now - self.syn_sent_at);
-                    self.hs = HsState::HelloSent;
-                    self.send_ctl(true, TcpSegKind::ClientHello);
-                    self.hs_backoff = 0;
-                    self.hs_timer = Some(now + self.c2s_snd.rtt.rto());
-                }
+            (TcpSegKind::SynAck, Direction::Down) if self.hs == HsState::SynSent => {
+                self.c2s_snd.rtt.on_sample(now - self.syn_sent_at);
+                self.hs = HsState::HelloSent;
+                self.send_ctl(true, TcpSegKind::ClientHello);
+                self.hs_backoff = 0;
+                self.hs_timer = Some(now + self.c2s_snd.rtt.rto());
             }
             (TcpSegKind::ClientHello, Direction::Up) => {
                 self.s2c_snd.rtt.on_sample(now - self.synack_sent_at);
@@ -686,6 +750,12 @@ impl TcpConnection {
                         self.send_ctl(true, TcpSegKind::ClientFinished);
                         self.out.push(Output::HandshakeDone);
                         self.out.push(Output::Trace(TraceKind::HandshakeDone, 0));
+                        crate::obs::handshake_span(
+                            self.obs_track,
+                            self.opened_at,
+                            now,
+                            self.cfg.protocol.label(),
+                        );
                         // Any queued request leaves right now.
                         self.c2s_snd.try_send(now, self.cfg.pacing, &mut self.out);
                     }
@@ -707,7 +777,11 @@ impl TcpConnection {
                 let progress = rcv.rcv_nxt;
                 if immediate {
                     let ack = rcv.make_ack(from_client);
-                    let dir_out = if from_client { Direction::Up } else { Direction::Down };
+                    let dir_out = if from_client {
+                        Direction::Up
+                    } else {
+                        Direction::Down
+                    };
                     self.out.push(Output::Send(
                         dir_out,
                         Packet::new(self.id, ack.wire_size(), Wire::Tcp(ack)),
@@ -916,14 +990,22 @@ mod tests {
         c.on_packet(SimTime::from_millis(12), &Wire::Tcp(syn), Direction::Up);
         let synack = sent(&mut c).remove(0).1;
         assert!(matches!(synack.kind, TcpSegKind::SynAck));
-        c.on_packet(SimTime::from_millis(24), &Wire::Tcp(synack), Direction::Down);
+        c.on_packet(
+            SimTime::from_millis(24),
+            &Wire::Tcp(synack),
+            Direction::Down,
+        );
         let ch = sent(&mut c).remove(0).1;
         assert!(matches!(ch.kind, TcpSegKind::ClientHello));
         c.on_packet(SimTime::from_millis(36), &Wire::Tcp(ch), Direction::Up);
         let flight = sent(&mut c);
         assert_eq!(flight.len(), 3, "TLS server flight in 3 parts");
         for (_, seg) in &flight {
-            c.on_packet(SimTime::from_millis(48), &Wire::Tcp(seg.clone()), Direction::Down);
+            c.on_packet(
+                SimTime::from_millis(48),
+                &Wire::Tcp(seg.clone()),
+                Direction::Down,
+            );
         }
         assert!(c.is_established(), "client ready after the full flight");
         let fin = sent(&mut c);
@@ -938,10 +1020,18 @@ mod tests {
         let syn = sent(&mut c).remove(0).1;
         c.on_packet(SimTime::from_millis(12), &Wire::Tcp(syn), Direction::Up);
         let synack = sent(&mut c).remove(0).1;
-        c.on_packet(SimTime::from_millis(24), &Wire::Tcp(synack.clone()), Direction::Down);
+        c.on_packet(
+            SimTime::from_millis(24),
+            &Wire::Tcp(synack.clone()),
+            Direction::Down,
+        );
         let first = sent(&mut c).len();
         assert_eq!(first, 1, "one ClientHello");
-        c.on_packet(SimTime::from_millis(25), &Wire::Tcp(synack), Direction::Down);
+        c.on_packet(
+            SimTime::from_millis(25),
+            &Wire::Tcp(synack),
+            Direction::Down,
+        );
         assert!(sent(&mut c).is_empty(), "dup SYN-ACK ignored in HelloSent");
     }
 
@@ -953,15 +1043,19 @@ mod tests {
         let _syn = sent(&mut c);
         let data = TcpSegment {
             from_client: true,
-            kind: TcpSegKind::Data { seq: 0, len: 400, retx: false },
+            kind: TcpSegKind::Data {
+                seq: 0,
+                len: 400,
+                retx: false,
+            },
         };
         c.server_write(SimTime::from_millis(1), 1000);
         assert!(sent(&mut c).is_empty(), "server holds until established");
         c.on_packet(SimTime::from_millis(2), &Wire::Tcp(data), Direction::Up);
         let out = sent(&mut c);
         assert!(
-            out.iter().any(|(d, s)| *d == Direction::Down
-                && matches!(s.kind, TcpSegKind::Data { .. })),
+            out.iter()
+                .any(|(d, s)| *d == Direction::Down && matches!(s.kind, TcpSegKind::Data { .. })),
             "server flushes after implicit establishment: {out:?}"
         );
     }
@@ -975,7 +1069,11 @@ mod tests {
         for i in 0..40u64 {
             let seg = TcpSegment {
                 from_client: false,
-                kind: TcpSegKind::Data { seq: i * 1460, len: 1460, retx: false },
+                kind: TcpSegKind::Data {
+                    seq: i * 1460,
+                    len: 1460,
+                    retx: false,
+                },
             };
             c.on_packet(SimTime::from_millis(i), &Wire::Tcp(seg), Direction::Down);
             acks += sent(&mut c)
@@ -994,7 +1092,11 @@ mod tests {
         // Deliver segment 2 before segment 1.
         let seg2 = TcpSegment {
             from_client: false,
-            kind: TcpSegKind::Data { seq: 2920, len: 1460, retx: false },
+            kind: TcpSegKind::Data {
+                seq: 2920,
+                len: 1460,
+                retx: false,
+            },
         };
         c.on_packet(SimTime::from_millis(1), &Wire::Tcp(seg2), Direction::Down);
         let out = sent(&mut c);
@@ -1017,9 +1119,17 @@ mod tests {
         let _syn = c.take_outputs();
         let mk = |seq: u64| TcpSegment {
             from_client: false,
-            kind: TcpSegKind::Data { seq, len: 1000, retx: false },
+            kind: TcpSegKind::Data {
+                seq,
+                len: 1000,
+                retx: false,
+            },
         };
-        c.on_packet(SimTime::from_millis(1), &Wire::Tcp(mk(1000)), Direction::Down);
+        c.on_packet(
+            SimTime::from_millis(1),
+            &Wire::Tcp(mk(1000)),
+            Direction::Down,
+        );
         let progress: Vec<u64> = c
             .take_outputs()
             .iter()

@@ -90,45 +90,54 @@ impl MiniWorld {
                 break;
             }
             for o in outputs {
-            match o {
-                Output::Send(dir, pkt) => {
-                    let link = match dir {
-                        Direction::Up => &mut self.up,
-                        Direction::Down => &mut self.down,
-                    };
-                    match link.push(now, pkt) {
-                        PushOutcome::StartedTx(t) => {
-                            let ev = match dir {
-                                Direction::Up => Ev::UpTxDone,
-                                Direction::Down => Ev::DownTxDone,
-                            };
-                            self.queue.schedule(t, ev);
+                match o {
+                    Output::Send(dir, pkt) => {
+                        let link = match dir {
+                            Direction::Up => &mut self.up,
+                            Direction::Down => &mut self.down,
+                        };
+                        match link.push(now, pkt) {
+                            PushOutcome::StartedTx(t) => {
+                                let ev = match dir {
+                                    Direction::Up => Ev::UpTxDone,
+                                    Direction::Down => Ev::DownTxDone,
+                                };
+                                self.queue.schedule(t, ev);
+                            }
+                            PushOutcome::Queued | PushOutcome::TailDropped => {}
                         }
-                        PushOutcome::Queued | PushOutcome::TailDropped => {}
+                    }
+                    Output::HandshakeDone => {
+                        self.handshake_done_at.get_or_insert(now);
+                    }
+                    Output::ClientStreamProgress {
+                        stream,
+                        delivered,
+                        fin,
+                    } => {
+                        self.client_progress.insert(stream.0, (delivered, fin, now));
+                    }
+                    Output::ServerStreamProgress {
+                        stream,
+                        delivered,
+                        fin,
+                    } => {
+                        self.on_server_progress(now, stream.0, delivered, fin);
+                    }
+                    Output::Trace(kind, _) => {
+                        if kind == TraceKind::Retransmit {
+                            self.retransmit_traces += 1;
+                        }
                     }
                 }
-                Output::HandshakeDone => {
-                    self.handshake_done_at.get_or_insert(now);
-                }
-                Output::ClientStreamProgress { stream, delivered, fin } => {
-                    self.client_progress.insert(stream.0, (delivered, fin, now));
-                }
-                Output::ServerStreamProgress { stream, delivered, fin } => {
-                    self.on_server_progress(now, stream.0, delivered, fin);
-                }
-                Output::Trace(kind, _) => {
-                    if kind == TraceKind::Retransmit {
-                        self.retransmit_traces += 1;
-                    }
-                }
-            }
             }
         }
         // Reschedule the connection wakeup.
         let at = self.conn.poll_at();
         if at != SimTime::MAX {
             self.wake_version += 1;
-            self.queue.schedule(at.max(now), Ev::ConnWake(self.wake_version));
+            self.queue
+                .schedule(at.max(now), Ev::ConnWake(self.wake_version));
         }
     }
 

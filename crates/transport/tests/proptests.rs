@@ -1,10 +1,10 @@
 //! Property-based tests: range-set algebra (the foundation of SACK,
 //! QUIC ACK ranges and stream reassembly) and pacing invariants.
 
-use proptest::prelude::*;
 use pq_sim::{SimDuration, SimTime};
 use pq_transport::pacing::Pacer;
 use pq_transport::RangeSet;
+use proptest::prelude::*;
 use std::collections::BTreeSet;
 
 /// Reference model: a plain set of u64 values.

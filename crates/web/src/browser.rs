@@ -14,12 +14,23 @@ use crate::http3::H3Map;
 use crate::object::{ObjectId, WebObject};
 use crate::website::Website;
 use pq_metrics::{MetricSet, Recording, VisualTimeline};
+use pq_obs::{ArgValue, Level};
 use pq_sim::{
     ConnId, Direction, EventQueue, Link, NetworkConfig, Packet, PushOutcome, SimDuration, SimRng,
     SimTime, Trace, TraceKind,
 };
 use pq_transport::{Connection, Output, Protocol, Wire};
 use std::collections::HashMap;
+
+/// Trace-track layout of one page load (one tracer `pid` per load):
+/// `tid 0` carries the page-level markers (FVC/LVC/PLT, queue depth,
+/// link queues), `tid 1 + ci` one row per connection, `tid 100 + obj`
+/// one row per web object.
+const TID_PAGE: u32 = 0;
+/// First connection row.
+const TID_CONN_BASE: u32 = 1;
+/// First web-object row.
+const TID_OBJ_BASE: u32 = 100;
 
 /// HTTP version used over the TCP stacks (QUIC always uses its own
 /// stream mapping).
@@ -166,6 +177,10 @@ struct Loader<'a> {
     /// Onload instant (set when the last object finishes processing).
     plt_at: Option<SimTime>,
     trace: Trace,
+    /// Tracer process id of this page load (`None` with tracing off).
+    obs_pid: Option<u32>,
+    /// Request-issue instant per object (waterfall span start).
+    req_at: Vec<Option<SimTime>>,
 }
 
 /// Load `site` over `net` with `protocol`; `seed` drives every source
@@ -217,13 +232,37 @@ pub fn load_page_with_config(
         })
         .collect();
 
+    // One tracer process per page load; every connection, object and
+    // queue-depth sample of this load lands on its tracks.
+    let obs_pid = if pq_obs::enabled(Level::Info) {
+        let t = pq_obs::tracer();
+        let pid = t.new_pid(&format!(
+            "{} · {} · seed {seed}",
+            site.name,
+            protocol.label()
+        ));
+        t.name_track(pid, TID_PAGE, "page");
+        Some(pid)
+    } else {
+        None
+    };
+
+    let mut q = EventQueue::new();
+    let mut up = Link::new(net.uplink(), rng.fork("uplink-loss"));
+    let mut down = Link::new(net.downlink(), rng.fork("downlink-loss"));
+    if let Some(pid) = obs_pid {
+        q.set_obs_track(pid, TID_PAGE);
+        up.set_obs_track(pid, TID_PAGE, "uplink");
+        down.set_obs_track(pid, TID_PAGE, "downlink");
+    }
+
     let mut loader = Loader {
         site,
         protocol,
         opts,
-        q: EventQueue::new(),
-        up: Link::new(net.uplink(), rng.fork("uplink-loss")),
-        down: Link::new(net.downlink(), rng.fork("downlink-loss")),
+        q,
+        up,
+        down,
         conns: Vec::new(),
         origin_conn: HashMap::new(),
         h1_pools: HashMap::new(),
@@ -244,6 +283,8 @@ pub fn load_page_with_config(
         gate_scheduled: false,
         plt_at: None,
         trace: Trace::with_capacity(opts.trace_capacity),
+        obs_pid,
+        req_at: vec![None; n],
     };
 
     loader.discover(SimTime::ZERO, ObjectId(0));
@@ -303,6 +344,7 @@ impl<'a> Loader<'a> {
         };
         self.origin_conn.insert(origin, ci);
         self.trace.record(now, TraceKind::Request, u64::from(id.0));
+        self.obs_request(now, id);
         let state = &mut self.conns[ci as usize];
         match &mut state.mux {
             Mux::H1(_) => unreachable!("pool handled above"),
@@ -324,7 +366,16 @@ impl<'a> Loader<'a> {
 
     fn open_conn(&mut self, now: SimTime, mux: Mux) -> u32 {
         let ci = self.conns.len() as u32;
-        let conn = Connection::open(ConnId(ci), self.cfg.clone(), now);
+        let mut conn = Connection::open(ConnId(ci), self.cfg.clone(), now);
+        if let Some(pid) = self.obs_pid {
+            let tid = TID_CONN_BASE + ci;
+            conn.set_obs_track(pid, tid);
+            pq_obs::tracer().name_track(
+                pid,
+                tid,
+                &format!("conn {ci} ({})", self.protocol.label()),
+            );
+        }
         self.conns.push(ConnState {
             conn,
             mux,
@@ -338,14 +389,20 @@ impl<'a> Loader<'a> {
     fn request_object_h1(&mut self, now: SimTime, id: ObjectId) {
         let origin = self.obj(id).origin.0;
         let pool = self.h1_pools.entry(origin).or_default();
-        let idle = pool.conns.iter().copied().find(|&ci| {
-            matches!(&self.conns[ci as usize].mux, Mux::H1(h) if h.is_idle())
-        });
+        let idle = pool
+            .conns
+            .iter()
+            .copied()
+            .find(|&ci| matches!(&self.conns[ci as usize].mux, Mux::H1(h) if h.is_idle()));
         let ci = match idle {
             Some(ci) => ci,
             None if pool.can_grow() => {
                 let ci = self.conns.len() as u32;
-                self.h1_pools.get_mut(&origin).expect("pool exists").conns.push(ci);
+                self.h1_pools
+                    .get_mut(&origin)
+                    .expect("pool exists")
+                    .conns
+                    .push(ci);
                 self.open_conn(now, Mux::H1(H1Conn::new()))
             }
             None => {
@@ -354,8 +411,11 @@ impl<'a> Loader<'a> {
             }
         };
         self.trace.record(now, TraceKind::Request, u64::from(id.0));
+        self.obs_request(now, id);
         let state = &mut self.conns[ci as usize];
-        let Mux::H1(h) = &mut state.mux else { unreachable!() };
+        let Mux::H1(h) = &mut state.mux else {
+            unreachable!()
+        };
         let Connection::Tcp(c) = &mut state.conn else {
             unreachable!("H1 over TCP")
         };
@@ -424,9 +484,14 @@ impl<'a> Loader<'a> {
                 }
             }
             Output::HandshakeDone => {
-                self.trace.record(now, TraceKind::HandshakeDone, u64::from(ci));
+                self.trace
+                    .record(now, TraceKind::HandshakeDone, u64::from(ci));
             }
-            Output::ServerStreamProgress { stream, delivered, fin } => {
+            Output::ServerStreamProgress {
+                stream,
+                delivered,
+                fin,
+            } => {
                 let state = &mut self.conns[ci as usize];
                 let ready: Vec<ObjectId> = match &mut state.mux {
                     Mux::H1(h) => h.on_server_delivered(delivered).into_iter().collect(),
@@ -448,7 +513,11 @@ impl<'a> Loader<'a> {
                     );
                 }
             }
-            Output::ClientStreamProgress { stream, delivered, fin } => {
+            Output::ClientStreamProgress {
+                stream,
+                delivered,
+                fin,
+            } => {
                 let state = &mut self.conns[ci as usize];
                 match &mut state.mux {
                     Mux::H1(h) => {
@@ -482,8 +551,8 @@ impl<'a> Loader<'a> {
                     Mux::H3(m) => {
                         if let Some(p) = m.on_client_delivered(stream, delivered, fin) {
                             let idx = p.object.0 as usize;
-                            let got =
-                                (crate::http3::RESPONSE_HEADER + p.delivered_body).min(self.expect[idx]);
+                            let got = (crate::http3::RESPONSE_HEADER + p.delivered_body)
+                                .min(self.expect[idx]);
                             self.object_progress(now, p.object, got.max(self.got[idx]));
                         }
                     }
@@ -493,6 +562,52 @@ impl<'a> Loader<'a> {
                 self.trace.record(now, kind, detail);
             }
         }
+    }
+
+    /// Note the request-issue instant of `id` — start of its waterfall
+    /// span — and name the object's track row.
+    fn obs_request(&mut self, now: SimTime, id: ObjectId) {
+        let idx = id.0 as usize;
+        if self.req_at[idx].is_none() {
+            self.req_at[idx] = Some(now);
+        }
+        let Some(pid) = self.obs_pid else { return };
+        if !pq_obs::enabled(Level::Info) {
+            return;
+        }
+        let o = self.obj(id);
+        pq_obs::tracer().name_track(
+            pid,
+            TID_OBJ_BASE + id.0,
+            &format!("obj {} ({:?})", id.0, o.kind),
+        );
+    }
+
+    /// Emit the request→processed waterfall span of a finished object.
+    fn obs_object_span(&self, now: SimTime, id: ObjectId) {
+        let Some(pid) = self.obs_pid else { return };
+        if !pq_obs::enabled(Level::Info) {
+            return;
+        }
+        let o = self.obj(id);
+        let start = self.req_at[id.0 as usize].unwrap_or(now);
+        pq_obs::tracer().span(
+            Level::Info,
+            "web",
+            format!("{:?} {}", o.kind, o.size),
+            pid,
+            TID_OBJ_BASE + id.0,
+            start.as_nanos(),
+            now.as_nanos(),
+            vec![
+                ("origin", ArgValue::U64(u64::from(o.origin.0))),
+                ("size", ArgValue::U64(o.size)),
+                (
+                    "render_blocking",
+                    ArgValue::U64(u64::from(o.render_blocking)),
+                ),
+            ],
+        );
     }
 
     /// Client-side processing cost of a fully delivered object: parse
@@ -560,6 +675,7 @@ impl<'a> Loader<'a> {
             self.plt_at = Some(now);
         }
         self.trace.record(now, TraceKind::Response, u64::from(id.0));
+        self.obs_object_span(now, id);
         self.update_render(now, id, 1.0, true);
         let kids: Vec<ObjectId> = self.children[idx]
             .iter()
@@ -606,14 +722,48 @@ impl<'a> Loader<'a> {
                 .all(|o| self.done_at[o.id.0 as usize].is_some());
             if head_parsed && blocking_done {
                 self.gate_scheduled = true;
-                let layout = SimDuration::from_secs_f64(
-                    STYLE_LAYOUT_MS * self.opts.processing_scale / 1e3,
-                );
+                let layout =
+                    SimDuration::from_secs_f64(STYLE_LAYOUT_MS * self.opts.processing_scale / 1e3);
                 self.q.schedule(now + layout, Ev::GateOpen);
             }
         } else if self.gate_open && delta > 0.0 {
             self.timeline.push(now, self.vc);
         }
+    }
+
+    /// End-of-load bookkeeping: FVC/LVC/PLT markers on the page track
+    /// and the per-protocol metric histograms in the global registry.
+    fn obs_finish(&self, metrics: &MetricSet, plt: SimTime, complete: bool) {
+        let label = self.protocol.label();
+        let reg = pq_obs::registry();
+        reg.counter_add("web.pageloads", 1);
+        if !complete {
+            reg.counter_add("web.pageloads_incomplete", 1);
+        }
+        reg.observe(&format!("web.plt_ms{{proto=\"{label}\"}}"), metrics.plt_ms);
+        reg.observe(&format!("web.fvc_ms{{proto=\"{label}\"}}"), metrics.fvc_ms);
+        reg.observe(&format!("web.si_ms{{proto=\"{label}\"}}"), metrics.si_ms);
+
+        let Some(pid) = self.obs_pid else { return };
+        if !pq_obs::enabled(Level::Info) {
+            return;
+        }
+        let t = pq_obs::tracer();
+        let mark = |name: &'static str, at: Option<SimTime>, ms: f64| {
+            let Some(at) = at else { return };
+            t.instant(
+                Level::Info,
+                "web",
+                name,
+                pid,
+                TID_PAGE,
+                at.as_nanos(),
+                vec![("ms", ArgValue::F64(ms))],
+            );
+        };
+        mark("FVC", self.timeline.first_change(), metrics.fvc_ms);
+        mark("LVC", self.timeline.last_change(), metrics.lvc_ms);
+        mark("PLT", Some(plt), metrics.plt_ms);
     }
 
     fn run(mut self) -> PageLoadResult {
@@ -715,8 +865,9 @@ impl<'a> Loader<'a> {
             .unwrap_or_else(|| self.q.now().min(horizon))
             .max(last_paint);
         let metrics = MetricSet::from_timeline(&self.timeline, plt);
-        let recording = (self.opts.fps > 0)
-            .then(|| Recording::render(&self.timeline, plt, self.opts.fps));
+        self.obs_finish(&metrics, plt, complete);
+        let recording =
+            (self.opts.fps > 0).then(|| Recording::render(&self.timeline, plt, self.opts.fps));
         PageLoadResult {
             metrics,
             recording,

@@ -17,7 +17,12 @@ fn small_site_loads_on_dsl_all_protocols() {
     for proto in Protocol::ALL {
         let r = load("apache.org", &net, proto, 1);
         assert!(r.complete, "{}: incomplete", proto.label());
-        assert!(r.metrics.well_ordered(), "{}: {:?}", proto.label(), r.metrics);
+        assert!(
+            r.metrics.well_ordered(),
+            "{}: {:?}",
+            proto.label(),
+            r.metrics
+        );
         assert!(
             r.metrics.plt_ms < 3_000.0,
             "{}: small site too slow: {:?}",
@@ -52,8 +57,16 @@ fn quic_renders_earlier_than_stock_tcp() {
         let mut tcp = Vec::new();
         let mut quic = Vec::new();
         for seed in 0..5 {
-            tcp.push(load("wikipedia.org", &net, Protocol::Tcp, seed).metrics.fvc_ms);
-            quic.push(load("wikipedia.org", &net, Protocol::Quic, seed).metrics.fvc_ms);
+            tcp.push(
+                load("wikipedia.org", &net, Protocol::Tcp, seed)
+                    .metrics
+                    .fvc_ms,
+            );
+            quic.push(
+                load("wikipedia.org", &net, Protocol::Quic, seed)
+                    .metrics
+                    .fvc_ms,
+            );
         }
         let med = |v: &mut Vec<f64>| {
             v.sort_by(|a, b| a.partial_cmp(b).unwrap());
@@ -149,7 +162,11 @@ fn every_network_completes_the_lab_sites() {
                 "{name} on {kind:?} incomplete (plt {:?})",
                 r.plt
             );
-            assert!(r.metrics.well_ordered(), "{name} on {kind:?}: {:?}", r.metrics);
+            assert!(
+                r.metrics.well_ordered(),
+                "{name} on {kind:?}: {:?}",
+                r.metrics
+            );
         }
     }
 }
@@ -194,8 +211,14 @@ fn dbg_fvc() {
     for kind in [NetworkKind::Dsl, NetworkKind::Lte] {
         let net = kind.config();
         for proto in [Protocol::Tcp, Protocol::Quic] {
-            let v: Vec<f64> = (0..5).map(|s| load("wikipedia.org", &net, proto, s).metrics.fvc_ms).collect();
-            println!("{kind:?} {}: {:?}", proto.label(), v.iter().map(|x| x.round()).collect::<Vec<_>>());
+            let v: Vec<f64> = (0..5)
+                .map(|s| load("wikipedia.org", &net, proto, s).metrics.fvc_ms)
+                .collect();
+            println!(
+                "{kind:?} {}: {:?}",
+                proto.label(),
+                v.iter().map(|x| x.round()).collect::<Vec<_>>()
+            );
         }
     }
 }

@@ -123,8 +123,14 @@ mod tests {
         let sizes: Vec<u64> = c.iter().map(Website::total_bytes).collect();
         let origins: Vec<u16> = c.iter().map(|w| w.origins).collect();
         assert!(*sizes.iter().min().unwrap() < 200_000, "small sites exist");
-        assert!(*sizes.iter().max().unwrap() > 3_000_000, "large sites exist");
-        assert!(*origins.iter().min().unwrap() <= 3, "single-ish origin sites");
+        assert!(
+            *sizes.iter().max().unwrap() > 3_000_000,
+            "large sites exist"
+        );
+        assert!(
+            *origins.iter().min().unwrap() <= 3,
+            "single-ish origin sites"
+        );
         assert!(*origins.iter().max().unwrap() >= 25, "many-origin sites");
     }
 

@@ -167,7 +167,11 @@ mod tests {
 
     fn conn() -> TcpConnection {
         let net = NetworkKind::Dsl.config();
-        TcpConnection::new(pq_sim::ConnId(1), Protocol::TcpPlus.config(&net), SimTime::ZERO)
+        TcpConnection::new(
+            pq_sim::ConnId(1),
+            Protocol::TcpPlus.config(&net),
+            SimTime::ZERO,
+        )
     }
 
     #[test]

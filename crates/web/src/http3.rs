@@ -63,7 +63,13 @@ impl H3Map {
     }
 
     /// Server writes the response for `object` (`body` payload bytes).
-    pub fn respond(&mut self, conn: &mut QuicConnection, now: SimTime, object: ObjectId, body: u64) {
+    pub fn respond(
+        &mut self,
+        conn: &mut QuicConnection,
+        now: SimTime,
+        object: ObjectId,
+        body: u64,
+    ) {
         let sid = *self.by_object.get(&object).expect("object has a stream");
         self.body.insert(sid, body);
         conn.server_write(now, StreamId(sid), RESPONSE_HEADER + body, true);
@@ -93,7 +99,11 @@ mod tests {
 
     fn conn() -> QuicConnection {
         let net = NetworkKind::Dsl.config();
-        QuicConnection::new(pq_sim::ConnId(1), Protocol::Quic.config(&net), SimTime::ZERO)
+        QuicConnection::new(
+            pq_sim::ConnId(1),
+            Protocol::Quic.config(&net),
+            SimTime::ZERO,
+        )
     }
 
     #[test]

@@ -129,7 +129,10 @@ impl Website {
                 ObjectKind::Font => {
                     // Fonts are referenced by a stylesheet when one
                     // exists: discovered only when it completes.
-                    (Some(ObjectId(rng.range_u64(1, u64::from(blocking)) as u32)), 1.0)
+                    (
+                        Some(ObjectId(rng.range_u64(1, u64::from(blocking)) as u32)),
+                        1.0,
+                    )
                 }
                 _ => (Some(ObjectId(0)), rng.range_f64(0.05, 0.9)),
             };

@@ -19,13 +19,7 @@ fn main() {
     let pair = (Protocol::Quic, Protocol::Tcp);
 
     println!("building stimuli (4 sites × 2 networks × 2 stacks × 7 runs)…");
-    let stimuli = StimulusSet::build(
-        &sites,
-        &networks,
-        &[Protocol::Quic, Protocol::Tcp],
-        7,
-        2024,
-    );
+    let stimuli = StimulusSet::build(&sites, &networks, &[Protocol::Quic, Protocol::Tcp], 7, 2024);
 
     for group in Group::ALL {
         let sessions = population(StudyKind::AB, group, 2024);

@@ -16,7 +16,13 @@ fn median(mut v: Vec<f64>) -> f64 {
 }
 
 fn main() {
-    let sites = ["apache.org", "wordpress.com", "gov.uk", "spotify.com", "etsy.com"];
+    let sites = [
+        "apache.org",
+        "wordpress.com",
+        "gov.uk",
+        "spotify.com",
+        "etsy.com",
+    ];
     let opts = LoadOptions::default();
     let runs = 7u64;
 

@@ -78,9 +78,15 @@ fn main() {
         let si = median(
             (0..runs)
                 .map(|s| {
-                    load_page(&site, &net, Protocol::Quic, 400 + s, &LoadOptions::default())
-                        .metrics
-                        .si_ms
+                    load_page(
+                        &site,
+                        &net,
+                        Protocol::Quic,
+                        400 + s,
+                        &LoadOptions::default(),
+                    )
+                    .metrics
+                    .si_ms
                 })
                 .collect(),
         );

@@ -9,7 +9,9 @@
 use perceiving_quic::prelude::*;
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "wikipedia.org".into());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "wikipedia.org".into());
     let Some(site) = web::site(&name) else {
         eprintln!("unknown site {name:?}; try one of:");
         for s in web::corpus_specs() {

@@ -38,9 +38,15 @@ fn main() {
                 median(
                     (0..runs)
                         .map(|s| {
-                            load_page_with_config(&site, &net, &cfg, 800 + s, &LoadOptions::default())
-                                .metrics
-                                .si_ms
+                            load_page_with_config(
+                                &site,
+                                &net,
+                                &cfg,
+                                800 + s,
+                                &LoadOptions::default(),
+                            )
+                            .metrics
+                            .si_ms
                         })
                         .collect(),
                 )

@@ -74,12 +74,22 @@ fn main() {
         for level in (1..=5).rev() {
             let threshold = level as f64 / 5.0;
             let row: String = (0..secs.min(72))
-                .map(|s| if rec.vc_at(s as f64 + 0.99) >= threshold { '█' } else { ' ' })
+                .map(|s| {
+                    if rec.vc_at(s as f64 + 0.99) >= threshold {
+                        '█'
+                    } else {
+                        ' '
+                    }
+                })
                 .collect();
             println!("  {:>3.0}% |{row}", threshold * 100.0);
         }
         println!("       +{}", "-".repeat(secs.min(72)));
-        println!("        0s {:>width$}", format!("{secs}s"), width = secs.min(72).saturating_sub(3));
+        println!(
+            "        0s {:>width$}",
+            format!("{secs}s"),
+            width = secs.min(72).saturating_sub(3)
+        );
         println!();
     }
 }

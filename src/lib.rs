@@ -43,9 +43,7 @@ pub use pq_web as web;
 pub mod prelude {
     pub use pq_metrics::{Metric, MetricSet, Recording, VisualTimeline};
     pub use pq_sim::{NetworkConfig, NetworkKind, SimDuration, SimRng, SimTime};
-    pub use pq_study::{
-        run_study, AbChoice, Environment, Group, StimulusSet, StudyData,
-    };
+    pub use pq_study::{run_study, AbChoice, Environment, Group, StimulusSet, StudyData};
     pub use pq_transport::Protocol;
     pub use pq_web::{self as web, LoadOptions, PageLoadResult, Website};
     pub use pq_web::{load_page, site};

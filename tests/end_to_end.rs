@@ -32,7 +32,11 @@ fn claim_quic_one_rtt_ahead_in_first_visual_change() {
         let fvc = |p: Protocol| {
             median(
                 (0..5)
-                    .map(|s| load_page(&site, &net, p, s, &LoadOptions::default()).metrics.fvc_ms)
+                    .map(|s| {
+                        load_page(&site, &net, p, s, &LoadOptions::default())
+                            .metrics
+                            .fvc_ms
+                    })
                     .collect(),
             )
         };
@@ -71,16 +75,26 @@ fn full_pipeline_produces_paper_shaped_ab_votes() {
     let groups = [Group::Lab, Group::MicroWorker];
 
     // MSS, QUIC vs TCP: the clearest case — QUIC must win outright.
-    let mss = ab_shares(&data.ab, NetworkKind::Mss, (Protocol::Quic, Protocol::Tcp), &groups)
-        .expect("votes exist");
+    let mss = ab_shares(
+        &data.ab,
+        NetworkKind::Mss,
+        (Protocol::Quic, Protocol::Tcp),
+        &groups,
+    )
+    .expect("votes exist");
     assert!(mss.first > 0.6, "QUIC share on MSS: {:.2}", mss.first);
     assert!(mss.first > mss.second * 2.0);
 
     // DSL is harder to call than MSS: more "no difference" and more
     // replays (§4.3: replays express the difficulty of spotting a
     // difference in the DSL network).
-    let dsl = ab_shares(&data.ab, NetworkKind::Dsl, (Protocol::Quic, Protocol::Tcp), &groups)
-        .expect("votes exist");
+    let dsl = ab_shares(
+        &data.ab,
+        NetworkKind::Dsl,
+        (Protocol::Quic, Protocol::Tcp),
+        &groups,
+    )
+    .expect("votes exist");
     assert!(
         dsl.no_diff > mss.no_diff,
         "DSL no-diff {:.2} !> MSS no-diff {:.2}",
@@ -139,13 +153,7 @@ fn speed_index_correlates_best_and_plt_worst_on_slow_networks() {
     .iter()
     .map(|n| web::site(n).expect("corpus"))
     .collect();
-    let stimuli = StimulusSet::build(
-        &sites,
-        &[NetworkKind::Mss],
-        &[Protocol::Quic],
-        5,
-        7,
-    );
+    let stimuli = StimulusSet::build(&sites, &[NetworkKind::Mss], &[Protocol::Quic], 5, 7);
     let data = perceiving_quic::study::run_study_with(
         &stimuli,
         &[(Protocol::Quic, Protocol::Quic)],
@@ -166,8 +174,14 @@ fn speed_index_correlates_best_and_plt_worst_on_slow_networks() {
     };
     let si = corr(Metric::Si);
     let plt = corr(Metric::Plt);
-    assert!(si < -0.45, "SI correlation should be strongly negative: {si:.2}");
-    assert!(si < plt, "SI ({si:.2}) must correlate better than PLT ({plt:.2})");
+    assert!(
+        si < -0.45,
+        "SI correlation should be strongly negative: {si:.2}"
+    );
+    assert!(
+        si < plt,
+        "SI ({si:.2}) must correlate better than PLT ({plt:.2})"
+    );
 }
 
 #[test]

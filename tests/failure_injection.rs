@@ -28,7 +28,12 @@ fn extreme_loss_still_completes() {
         let r = load_page(&site, &net, proto, 3, &opts);
         assert!(r.complete, "{} did not survive 20% loss", proto.label());
         assert!(r.retransmits > 0);
-        assert!(r.metrics.well_ordered(), "{}: {:?}", proto.label(), r.metrics);
+        assert!(
+            r.metrics.well_ordered(),
+            "{}: {:?}",
+            proto.label(),
+            r.metrics
+        );
     }
 }
 
@@ -39,7 +44,11 @@ fn tiny_queue_forces_drops_but_not_livelock() {
     let site = web::site("gov.uk").unwrap();
     for proto in [Protocol::Tcp, Protocol::Quic] {
         let r = load_page(&site, &net, proto, 5, &LoadOptions::default());
-        assert!(r.complete, "{}: starved by a one-packet queue", proto.label());
+        assert!(
+            r.complete,
+            "{}: starved by a one-packet queue",
+            proto.label()
+        );
     }
 }
 
