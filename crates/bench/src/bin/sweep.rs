@@ -7,8 +7,13 @@
 //! the ~7.5 % just-noticeable-difference contour marked — cells where
 //! users would notice per the Study-1 psychophysics.
 //!
+//! The grid cells are independent page-load simulations seeded purely
+//! by the cell, so they execute on the `pq-par` work-stealing pool
+//! (`PQ_JOBS` workers) and print in canonical order with bit-identical
+//! values at any worker count.
+//!
 //! ```sh
-//! cargo run --release -p pq-bench --bin sweep
+//! PQ_JOBS=8 cargo run --release -p pq-bench --bin sweep
 //! ```
 
 use pq_sim::{NetworkConfig, NetworkKind, SimDuration};
@@ -49,6 +54,8 @@ fn cell(ratio: f64) -> String {
 fn main() {
     pq_obs::init_from_env();
     let site = catalogue::site("gov.uk").expect("corpus site");
+    let jobs = pq_par::jobs();
+    eprintln!("[sweep] jobs={jobs}");
     println!(
         "median SI(TCP+) / SI(QUIC) for gov.uk  (*: QUIC side of the ~7.5% JND, !: TCP+ side)\n"
     );
@@ -58,23 +65,33 @@ fn main() {
         500_000u64, 1_000_000, 2_000_000, 5_000_000, 10_000_000, 25_000_000,
     ];
     let losses = [0.0, 0.01, 0.02, 0.04, 0.06];
-    print!("{:>10}", "down\\loss");
-    for l in losses {
-        print!(" {:>6.0}%", l * 100.0);
-    }
-    println!();
-    for down in bands {
-        print!("{:>8.1}Mb", down as f64 / 1e6);
-        for loss in losses {
-            let net = NetworkConfig {
+
+    // Scatter the whole bandwidth × loss grid over the worker pool
+    // (row-major, so gathered results print in table order).
+    let grid: Vec<NetworkConfig> = bands
+        .iter()
+        .flat_map(|&down| {
+            losses.iter().map(move |&loss| NetworkConfig {
                 kind: NetworkKind::Lte,
                 up_bps: down / 3,
                 down_bps: down,
                 min_rtt: SimDuration::from_millis(100),
                 loss,
                 queue_ms: 200,
-            };
-            print!(" {}", cell(si_ratio(&site, &net)));
+            })
+        })
+        .collect();
+    let ratios = pq_par::par_map(&grid, |net| si_ratio(&site, net));
+
+    print!("{:>10}", "down\\loss");
+    for l in losses {
+        print!(" {:>6.0}%", l * 100.0);
+    }
+    println!();
+    for (bi, down) in bands.iter().enumerate() {
+        print!("{:>8.1}Mb", *down as f64 / 1e6);
+        for li in 0..losses.len() {
+            print!(" {}", cell(ratios[bi * losses.len() + li]));
         }
         println!();
     }
@@ -86,17 +103,21 @@ fn main() {
         print!(" {r:>5}ms");
     }
     println!();
-    print!("{:>10}", "ratio");
-    for rtt in rtts {
-        let net = NetworkConfig {
+    let rtt_grid: Vec<NetworkConfig> = rtts
+        .iter()
+        .map(|&rtt| NetworkConfig {
             kind: NetworkKind::Lte,
             up_bps: 3_000_000,
             down_bps: 10_000_000,
             min_rtt: SimDuration::from_millis(rtt),
             loss: 0.0,
             queue_ms: 200,
-        };
-        print!(" {}", cell(si_ratio(&site, &net)));
+        })
+        .collect();
+    let rtt_ratios = pq_par::par_map(&rtt_grid, |net| si_ratio(&site, net));
+    print!("{:>10}", "ratio");
+    for ratio in rtt_ratios {
+        print!(" {}", cell(ratio));
     }
     println!();
     println!("\nExpected shape (paper takeaway): the ratio grows down-and-right");

@@ -22,6 +22,17 @@
 //! (`smoke` / `reduced` / `full`) and `PQ_SEED`; `full` matches the
 //! paper (36 sites × 4 networks × 5 stacks × 31 runs).
 //!
+//! ## Parallel execution
+//!
+//! The stimulus grid, both studies and the `sweep` grid execute on the
+//! `pq-par` work-stealing pool. `PQ_JOBS` sets the worker count
+//! (default: available parallelism; unparsable values warn via the
+//! tracer). Output is **bit-identical at any worker count** — every
+//! page load and participant derives its RNG purely from
+//! `(seed, cell indices)` — and the run manifest records both `jobs`
+//! and a `study_digest` so CI can diff a `PQ_JOBS=4` run against
+//! `PQ_JOBS=1` and prove it.
+//!
 //! ## Observability
 //!
 //! Every binary initialises [`pq_obs`] from the environment:
@@ -170,9 +181,11 @@ pub fn run_experiment(scale: Scale, seed: u64) -> Experiment {
 pub fn run_experiment_from_env(header: &str) -> Experiment {
     let scale = Scale::from_env();
     let seed = seed_from_env();
+    let jobs = pq_par::jobs();
     let (sites, runs) = scale.params();
     eprintln!(
-        "[{header}] scale={} ({sites} sites × 4 networks × 5 stacks × {runs} runs), seed={seed}",
+        "[{header}] scale={} ({sites} sites × 4 networks × 5 stacks × {runs} runs), \
+         seed={seed}, jobs={jobs}",
         scale.label()
     );
     let t0 = std::time::Instant::now();

@@ -9,8 +9,84 @@
 use crate::Experiment;
 use pq_obs::json::Value;
 use pq_obs::{MetricSnapshot, PhaseTimer};
-use pq_study::Group;
+use pq_study::{Group, StudyData};
 use pq_transport::Protocol;
+
+/// Accumulating FNV-1a/64 hasher for the study digest.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Fnv {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+    fn byte(&mut self, b: u8) {
+        self.0 ^= u64::from(b);
+        self.0 = self.0.wrapping_mul(0x1_0000_0000_01b3);
+    }
+    fn u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.byte(b);
+        }
+    }
+    fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+    fn str(&mut self, s: &str) {
+        self.u64(s.len() as u64);
+        for b in s.as_bytes() {
+            self.byte(*b);
+        }
+    }
+}
+
+/// A 64-bit FNV-1a digest over *every bit that analysis consumes* of a
+/// study execution: all A/B votes, all rating votes (float bits
+/// included) and both funnel tables, in canonical order.
+///
+/// This is the parallel-determinism witness: `PQ_JOBS=1` and
+/// `PQ_JOBS=N` runs of the same scale/seed must produce the same
+/// digest, and CI diffs the two manifests to prove it. Any divergence
+/// means an RNG stream got keyed by execution order instead of cell
+/// coordinates.
+pub fn study_digest(data: &StudyData) -> u64 {
+    let mut h = Fnv::new();
+    h.u64(data.ab.len() as u64);
+    for v in &data.ab {
+        h.str(v.group.name());
+        h.u64(u64::from(v.participant));
+        h.u64(u64::from(v.site));
+        h.str(v.network.name());
+        h.str(v.pair.0.label());
+        h.str(v.pair.1.label());
+        h.byte(match v.choice {
+            pq_study::AbChoice::First => 0,
+            pq_study::AbChoice::NoDifference => 1,
+            pq_study::AbChoice::Second => 2,
+        });
+        h.f64(v.confidence);
+        h.u64(u64::from(v.replays));
+        h.byte(u8::from(v.valid));
+    }
+    h.u64(data.ratings.len() as u64);
+    for v in &data.ratings {
+        h.str(v.group.name());
+        h.u64(u64::from(v.participant));
+        h.u64(u64::from(v.site));
+        h.str(v.network.name());
+        h.str(v.protocol.label());
+        h.byte(v.environment.idx() as u8);
+        h.f64(v.speed);
+        h.f64(v.quality);
+        h.byte(u8::from(v.valid));
+    }
+    for funnel in data.funnel_ab.iter().chain(&data.funnel_rating) {
+        h.u64(u64::from(funnel.recruited));
+        for &n in &funnel.after {
+            h.u64(u64::from(n));
+        }
+    }
+    h.0
+}
 
 /// Survivor counts of one group×study conformance funnel.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -45,6 +121,14 @@ pub struct Manifest {
     pub scale: String,
     /// Study seed.
     pub seed: u64,
+    /// `pq-par` worker count the run executed with (the `PQ_JOBS`
+    /// knob) — lets the perf trajectory distinguish serial from
+    /// parallel baselines.
+    pub jobs: u64,
+    /// Hex FNV-1a/64 digest over the full study dataset (all votes +
+    /// funnels, see [`study_digest`]); identical across worker counts
+    /// by the pq-par determinism contract.
+    pub study_digest: String,
     /// `git rev-parse --short HEAD`, or `unknown` outside a checkout.
     pub git_rev: String,
     /// Unix timestamp (seconds) of manifest creation.
@@ -108,6 +192,8 @@ impl Manifest {
         Manifest {
             scale: e.scale.label().to_string(),
             seed: e.seed,
+            jobs: pq_par::jobs() as u64,
+            study_digest: format!("{:016x}", study_digest(&e.data)),
             git_rev: git_rev(),
             created_unix: std::time::SystemTime::now()
                 .duration_since(std::time::UNIX_EPOCH)
@@ -143,6 +229,8 @@ impl Manifest {
         Value::obj()
             .with("scale", self.scale.as_str())
             .with("seed", self.seed)
+            .with("jobs", self.jobs)
+            .with("study_digest", self.study_digest.as_str())
             .with("git_rev", self.git_rev.as_str())
             .with("created_unix", self.created_unix)
             .with(
@@ -200,6 +288,8 @@ impl Manifest {
         Some(Manifest {
             scale: v.get("scale")?.as_str()?.to_string(),
             seed: v.get("seed")?.as_u64()?,
+            jobs: v.get("jobs")?.as_u64()?,
+            study_digest: v.get("study_digest")?.as_str()?.to_string(),
             git_rev: v.get("git_rev")?.as_str()?.to_string(),
             created_unix: v.get("created_unix")?.as_u64()?,
             phase_secs: v
@@ -274,11 +364,22 @@ pub fn bench_obs_json(timer: &PhaseTimer, scale: &str, seed: u64) -> Value {
         Some(MetricSnapshot::Counter(v)) => v,
         _ => 0,
     };
+    let par_tasks = match reg.get("par.tasks") {
+        Some(MetricSnapshot::Counter(v)) => v,
+        _ => 0,
+    };
+    let par_steals = match reg.get("par.steals") {
+        Some(MetricSnapshot::Counter(v)) => v,
+        _ => 0,
+    };
     let total = timer.total_secs();
     Value::obj()
         .with("bench", "pq_obs_pipeline")
         .with("scale", scale)
         .with("seed", seed)
+        .with("jobs", pq_par::jobs() as u64)
+        .with("par_tasks", par_tasks)
+        .with("par_steals", par_steals)
         .with("total_secs", total)
         .with("phases", timer.to_json())
         .with("sim_events", events)
@@ -301,6 +402,8 @@ mod tests {
         Manifest {
             scale: "smoke".into(),
             seed: 1910,
+            jobs: 4,
+            study_digest: "00c0ffee00c0ffee".into(),
             git_rev: "abc1234".into(),
             created_unix: 1_765_000_000,
             phase_secs: vec![("experiment".into(), 12.5), ("fig4".into(), 0.25)],
@@ -340,6 +443,18 @@ mod tests {
         let mut v = sample().to_json();
         v.set("seed", "not-a-number");
         assert!(Manifest::from_json(&v).is_none());
+    }
+
+    #[test]
+    fn study_digest_deterministic_and_seed_sensitive() {
+        let sites = vec![pq_web::catalogue::site("apache.org").unwrap()];
+        let stimuli =
+            pq_study::StimulusSet::build(&sites, &pq_sim::NetworkKind::ALL, &Protocol::ALL, 2, 77);
+        let a = pq_study::run_study(&stimuli, 1);
+        let b = pq_study::run_study(&stimuli, 1);
+        let c = pq_study::run_study(&stimuli, 2);
+        assert_eq!(study_digest(&a), study_digest(&b), "same seed, same digest");
+        assert_ne!(study_digest(&a), study_digest(&c), "digest tracks the data");
     }
 
     #[test]

@@ -59,6 +59,12 @@ const MAX_REPLAYS: u32 = 3;
 const CONTROL_VIDEOS: u32 = 3;
 
 /// Run the A/B study for one group over the stimulus set.
+///
+/// Participants fan out across the `pq-par` pool; every participant's
+/// RNG is keyed by `(seed, group, id)` alone and the vote vector keeps
+/// session order (votes of session *k* precede those of session
+/// *k+1*), so output is bit-identical to a serial run at any
+/// `PQ_JOBS`.
 pub fn run_ab_study(
     stimuli: &StimulusSet,
     sessions: &[Session],
@@ -69,10 +75,10 @@ pub fn run_ab_study(
     seed: u64,
 ) -> Vec<AbVote> {
     let rng = SimRng::new(seed).fork("ab-study");
-    let mut votes = Vec::new();
     let n_votes = videos_per_participant.saturating_sub(CONTROL_VIDEOS).max(1);
 
-    for session in sessions {
+    let per_session: Vec<Vec<AbVote>> = pq_par::par_map(sessions, |session| {
+        let mut votes = Vec::with_capacity(n_votes as usize);
         let p = &session.participant;
         let mut r = rng.fork_idx(p.group.name(), u64::from(p.id));
         for _ in 0..n_votes {
@@ -150,8 +156,9 @@ pub fn run_ab_study(
                 valid: session.valid(),
             });
         }
-    }
-    votes
+        votes
+    });
+    per_session.into_iter().flatten().collect()
 }
 
 #[cfg(test)]

@@ -98,6 +98,11 @@ pub fn site_tastes(n_sites: u16, seed: u64) -> HashMap<u16, f64> {
 /// Run the rating study for one group. Environments whose networks
 /// are not present in the stimulus set are skipped (smaller
 /// experiments may emulate a subset of Table 2).
+///
+/// Participants fan out across the `pq-par` pool with per-participant
+/// RNG streams keyed by `(seed, group, id)`; the vote vector keeps
+/// session order, so output is bit-identical to a serial run at any
+/// `PQ_JOBS`.
 #[allow(clippy::too_many_arguments)]
 pub fn run_rating_study(
     stimuli: &StimulusSet,
@@ -110,9 +115,9 @@ pub fn run_rating_study(
 ) -> Vec<RatingVote> {
     let rng = SimRng::new(seed).fork("rating-study");
     let available = stimuli.networks();
-    let mut votes = Vec::new();
 
-    for session in sessions {
+    let per_session: Vec<Vec<RatingVote>> = pq_par::par_map(sessions, |session| {
+        let mut votes = Vec::new();
         let p = &session.participant;
         let mut r = rng.fork_idx(p.group.name(), u64::from(p.id));
         for (env, count) in [
@@ -168,8 +173,9 @@ pub fn run_rating_study(
                 });
             }
         }
-    }
-    votes
+        votes
+    });
+    per_session.into_iter().flatten().collect()
 }
 
 #[cfg(test)]

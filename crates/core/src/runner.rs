@@ -1,5 +1,12 @@
 //! Orchestration: run both studies over all three groups against a
 //! stimulus set, reproducing the full data collection of §4.
+//!
+//! Execution is parallel but deterministic: the group loop stays
+//! serial (so funnels, spans and vote blocks keep their canonical
+//! order) while each group's population sampling and study execution
+//! fan out per participant on the `pq-par` pool. Every participant's
+//! RNG stream is keyed by `(seed, study, group, id)` alone, so
+//! `StudyData` is bit-identical for any `PQ_JOBS` value.
 
 use crate::ab::{run_ab_study, AbVote};
 use crate::calib;
@@ -48,6 +55,7 @@ fn obs_study(study: &'static str, group: Group, funnel: &Funnel, votes: usize, s
                 ("votes", ArgValue::U64(votes as u64)),
                 ("recruited", ArgValue::U64(u64::from(funnel.recruited))),
                 ("survivors", ArgValue::U64(u64::from(funnel.survivors()))),
+                ("jobs", ArgValue::U64(pq_par::jobs() as u64)),
             ],
         );
     }

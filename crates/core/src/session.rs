@@ -67,6 +67,12 @@ impl Session {
 }
 
 /// Build the full population for one study and group.
+///
+/// Participants fan out across the `pq-par` worker pool: each
+/// session's RNG stream is keyed purely by `(seed, study, group,
+/// participant id)` via `fork_idx`, so the returned vector is
+/// bit-identical to a serial sweep regardless of `PQ_JOBS` — and stays
+/// in participant-id order.
 pub fn population(kind: StudyKind, group: Group, seed: u64) -> Vec<Session> {
     let n = match kind {
         StudyKind::AB => calib::RECRUITED[group.idx()].0,
@@ -76,12 +82,11 @@ pub fn population(kind: StudyKind, group: Group, seed: u64) -> Vec<Session> {
         StudyKind::AB => "ab-sessions",
         StudyKind::Rating => "rating-sessions",
     });
-    (0..n)
-        .map(|i| {
-            let mut r = rng.fork_idx(group.name(), u64::from(i));
-            Session::sample(kind, group, i, &mut r)
-        })
-        .collect()
+    let ids: Vec<u32> = (0..n).collect();
+    pq_par::par_map(&ids, |&i| {
+        let mut r = rng.fork_idx(group.name(), u64::from(i));
+        Session::sample(kind, group, i, &mut r)
+    })
 }
 
 #[cfg(test)]

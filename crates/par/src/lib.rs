@@ -1,0 +1,280 @@
+//! # pq-par — deterministic work-stealing execution for the grid
+//!
+//! The experiment pipeline is embarrassingly parallel: 36 sites × 4
+//! networks × 5 stacks × ≥31 runs of independent page-load simulations
+//! at full scale, plus three independent study groups of simulated
+//! participants. This crate is the zero-dependency execution engine
+//! that spreads that grid across cores **without changing a single
+//! bit of output**:
+//!
+//! * [`par_map`] / [`par_map_indexed`] — order-preserving
+//!   scatter-gather over a slice. Work is cut into contiguous index
+//!   chunks and scheduled on a `std::thread`-scoped work-stealing pool
+//!   (per-worker chunked deques, a shared injector behind a
+//!   `Mutex`/`Condvar`, panic propagation to the caller).
+//! * [`jobs`] — the worker count: the `PQ_JOBS` environment knob,
+//!   defaulting to [`std::thread::available_parallelism`]. Unparsable
+//!   values warn through the `pq-obs` tracer (once) instead of being
+//!   silently swallowed. [`set_jobs`] overrides it programmatically
+//!   (tests sweep `1 / 2 / 8` workers in-process this way).
+//!
+//! ## The determinism contract
+//!
+//! Parallel output is **bit-identical** to serial output because the
+//! engine preserves item order in the gathered result and because
+//! every call site derives its randomness purely from `(seed, cell
+//! indices)` — e.g. `StimulusSet::build` keys each page load's RNG as
+//! `fork_idx("site/net/proto", run)` from the root seed, and the study
+//! runner keys each participant as `fork_idx(group, id)`. No RNG is
+//! ever threaded sequentially across cells, so chunk placement, steal
+//! order and worker count cannot influence results. `PQ_JOBS=1` and
+//! `PQ_JOBS=32` produce the same manifest digests, figures and tables;
+//! the cross-crate test suite pins this.
+//!
+//! ## Observability
+//!
+//! With `PQ_TRACE=info` each worker gets its own trace track
+//! (`pq-par worker-N`) carrying a lifetime span (tasks/chunks/steals
+//! args) and, at `debug`, one span per executed chunk. Every batch
+//! adds to the global `par.tasks` / `par.steals` registry counters,
+//! and `pq-bench`'s run manifest records the `jobs` value so serial
+//! and parallel baselines are never conflated.
+//!
+//! ```
+//! let squares = pq_par::par_map(&[1u64, 2, 3, 4], |x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16]);
+//!
+//! // Indexed variant: derive per-cell streams from the index.
+//! let cells = pq_par::par_map_indexed(&["a", "b"], |i, s| format!("{i}:{s}"));
+//! assert_eq!(cells, vec!["0:a".to_string(), "1:b".to_string()]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod pool;
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Once;
+
+/// Programmatic override installed by [`set_jobs`] (0 = none).
+static JOBS_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Warn about an unparsable `PQ_JOBS` at most once per process.
+static WARN_ONCE: Once = Once::new();
+
+/// Number of workers the machine can usefully run: available
+/// parallelism, or 1 when the runtime cannot tell.
+pub fn available_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// The effective worker count, resolved in priority order:
+///
+/// 1. a [`set_jobs`] override (tests, embedding harnesses),
+/// 2. the `PQ_JOBS` environment variable (`>= 1`),
+/// 3. [`available_jobs`].
+///
+/// An unparsable or zero `PQ_JOBS` warns via the `pq-obs` tracer
+/// (mirroring the `PQ_SCALE`/`PQ_SEED` warnings in `pq-bench`) and
+/// falls back to [`available_jobs`] — configuration is never silently
+/// swallowed.
+pub fn jobs() -> usize {
+    let forced = JOBS_OVERRIDE.load(Ordering::Relaxed);
+    if forced > 0 {
+        return forced;
+    }
+    match std::env::var("PQ_JOBS") {
+        Ok(raw) => match raw.parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => {
+                let fallback = available_jobs();
+                WARN_ONCE.call_once(|| {
+                    pq_obs::tracer().warn(
+                        "par",
+                        format!(
+                            "unparsable PQ_JOBS={raw:?} (want an integer >= 1); \
+                             defaulting to available parallelism ({fallback})"
+                        ),
+                    );
+                });
+                fallback
+            }
+        },
+        Err(_) => available_jobs(),
+    }
+}
+
+/// Override the worker count for the whole process (`None` restores
+/// `PQ_JOBS` / auto-detection). Intended for tests and embedding
+/// harnesses that must sweep worker counts without touching the
+/// environment.
+pub fn set_jobs(jobs: Option<usize>) {
+    JOBS_OVERRIDE.store(jobs.unwrap_or(0), Ordering::Relaxed);
+}
+
+/// Map `f` over `items` on [`jobs`] workers, returning outputs in
+/// item order. Bit-identical to `items.iter().map(f).collect()` when
+/// `f` is pure per item; see the crate docs for the determinism
+/// contract. Panics in `f` propagate to the caller (first payload
+/// wins; remaining work is dropped).
+pub fn par_map<T, R>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+{
+    pool::execute(jobs(), items, |_, t| f(t))
+}
+
+/// [`par_map`] with the item index passed to `f` — the variant every
+/// deterministic call site wants, since the index is what keys the
+/// per-cell RNG stream.
+pub fn par_map_indexed<T, R>(items: &[T], f: impl Fn(usize, &T) -> R + Sync) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+{
+    pool::execute(jobs(), items, f)
+}
+
+/// [`par_map`] with an explicit worker count (ignores [`jobs`]).
+pub fn par_map_with<T, R>(workers: usize, items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+{
+    pool::execute(workers, items, |_, t| f(t))
+}
+
+/// [`par_map_indexed`] with an explicit worker count.
+pub fn par_map_indexed_with<T, R>(
+    workers: usize,
+    items: &[T],
+    f: impl Fn(usize, &T) -> R + Sync,
+) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+{
+    pool::execute(workers, items, f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Mutex;
+
+    /// Serialise tests that toggle the global override.
+    fn with_override<R>(jobs: Option<usize>, f: impl FnOnce() -> R) -> R {
+        static GUARD: Mutex<()> = Mutex::new(());
+        let _g = GUARD.lock().unwrap_or_else(|e| e.into_inner());
+        set_jobs(jobs);
+        let out = f();
+        set_jobs(None);
+        out
+    }
+
+    #[test]
+    fn empty_input() {
+        let none: Vec<u32> = Vec::new();
+        assert!(par_map_with(4, &none, |x| x + 1).is_empty());
+        assert!(par_map_indexed_with(4, &none, |i, x| x + i as u32).is_empty());
+    }
+
+    #[test]
+    fn single_item_runs_inline() {
+        assert_eq!(par_map_with(8, &[41u32], |x| x + 1), vec![42]);
+    }
+
+    #[test]
+    fn more_workers_than_items() {
+        let items: Vec<u32> = (0..3).collect();
+        let out = par_map_with(64, &items, |&x| x * 2);
+        assert_eq!(out, vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn parallel_matches_serial_bitwise() {
+        // Float outputs — bit-identity, not approximate equality.
+        let items: Vec<u64> = (0..1000).collect();
+        let f = |i: usize, &x: &u64| ((x as f64) + 0.1).sin() * (i as f64 + 0.7).cos();
+        let serial: Vec<f64> = items.iter().enumerate().map(|(i, x)| f(i, x)).collect();
+        for workers in [1usize, 2, 3, 8] {
+            let par = par_map_indexed_with(workers, &items, f);
+            let same = serial
+                .iter()
+                .zip(&par)
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+            assert!(same, "workers={workers} diverged from serial");
+        }
+    }
+
+    #[test]
+    fn panic_propagates_with_payload() {
+        let items: Vec<u32> = (0..100).collect();
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            par_map_with(4, &items, |&x| {
+                if x == 37 {
+                    panic!("cell 37 exploded");
+                }
+                x
+            })
+        }))
+        .expect_err("panic must reach the caller");
+        let msg = err
+            .downcast_ref::<&str>()
+            .copied()
+            .map(String::from)
+            .or_else(|| err.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert!(msg.contains("cell 37 exploded"), "payload: {msg}");
+    }
+
+    #[test]
+    fn panic_aborts_remaining_work_eventually() {
+        // After a panic the batch drains without running *every* cell:
+        // with 1 chunk per grab and an immediate abort flag, at most
+        // the in-flight chunks complete. We only assert the call
+        // returns (no deadlock) and panics.
+        let done = AtomicU64::new(0);
+        let items: Vec<u32> = (0..10_000).collect();
+        let res = catch_unwind(AssertUnwindSafe(|| {
+            par_map_with(4, &items, |&x| {
+                if x == 0 {
+                    panic!("early");
+                }
+                done.fetch_add(1, Ordering::Relaxed);
+                x
+            })
+        }));
+        assert!(res.is_err());
+        assert!(done.load(Ordering::Relaxed) < 10_000, "batch aborted early");
+    }
+
+    #[test]
+    fn jobs_override_wins() {
+        with_override(Some(3), || assert_eq!(jobs(), 3));
+        with_override(None, || assert!(jobs() >= 1));
+    }
+
+    #[test]
+    fn par_tasks_counter_advances() {
+        let before = pq_obs::registry().counter_value("par.tasks");
+        let items: Vec<u32> = (0..256).collect();
+        let _ = par_map_with(4, &items, |&x| x);
+        let after = pq_obs::registry().counter_value("par.tasks");
+        assert!(
+            after >= before + 256,
+            "par.tasks advanced by the batch size ({before} -> {after})"
+        );
+    }
+
+    #[test]
+    fn available_jobs_positive() {
+        assert!(available_jobs() >= 1);
+    }
+}

@@ -15,7 +15,10 @@
 //! * [`web`] — websites, HTTP/2 + HTTP/3 mappings, the browser,
 //! * [`metrics`] — visual metrics and study recordings,
 //! * [`stats`] — CIs, ANOVA, correlation, normality,
-//! * [`study`] — participants, the A/B and rating studies, analysis.
+//! * [`study`] — participants, the A/B and rating studies, analysis,
+//! * [`par`] — the deterministic work-stealing execution engine that
+//!   spreads the stimulus/study grid across cores (`PQ_JOBS`) with
+//!   bit-identical output.
 //!
 //! ## Quickstart
 //!
@@ -33,6 +36,7 @@
 #![warn(missing_docs)]
 
 pub use pq_metrics as metrics;
+pub use pq_par as par;
 pub use pq_sim as sim;
 pub use pq_stats as stats;
 pub use pq_study as study;
@@ -42,6 +46,7 @@ pub use pq_web as web;
 /// The most common imports for experiments.
 pub mod prelude {
     pub use pq_metrics::{Metric, MetricSet, Recording, VisualTimeline};
+    pub use pq_par::{par_map, par_map_indexed};
     pub use pq_sim::{NetworkConfig, NetworkKind, SimDuration, SimRng, SimTime};
     pub use pq_study::{run_study, AbChoice, Environment, Group, StimulusSet, StudyData};
     pub use pq_transport::Protocol;
