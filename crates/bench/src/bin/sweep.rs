@@ -23,7 +23,8 @@ use pq_web::{catalogue, load_page, LoadOptions};
 const RUNS: u64 = 7;
 
 fn median(mut v: Vec<f64>) -> f64 {
-    v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    // total_cmp: NaN sorts high instead of panicking the whole sweep.
+    v.sort_by(f64::total_cmp);
     v[v.len() / 2]
 }
 
@@ -53,7 +54,10 @@ fn cell(ratio: f64) -> String {
 
 fn main() {
     pq_obs::init_from_env();
-    let site = catalogue::site("gov.uk").expect("corpus site");
+    let Some(site) = catalogue::site("gov.uk") else {
+        eprintln!("[sweep] corpus site gov.uk missing — corpus changed? aborting");
+        std::process::exit(1);
+    };
     let jobs = pq_par::jobs();
     eprintln!("[sweep] jobs={jobs}");
     println!(

@@ -33,6 +33,16 @@
 //! and a `study_digest` so CI can diff a `PQ_JOBS=4` run against
 //! `PQ_JOBS=1` and prove it.
 //!
+//! ## Fault injection
+//!
+//! Setting `PQ_FAULTS=<spec>` (see [`pq_fault`]) turns the run into a
+//! chaos experiment: deterministic burst loss, link flaps, server
+//! stalls, truncated responses, handshake-flight drops and task
+//! panics, all keyed by `(fault seed, cell coordinates)` so the run is
+//! still bit-identical at any `PQ_JOBS`. The manifest then records
+//! `fault_spec`, `faults_injected`, `runs_retried` and
+//! `cells_quarantined` alongside the usual digest.
+//!
 //! ## Observability
 //!
 //! Every binary initialises [`pq_obs`] from the environment:
@@ -182,11 +192,13 @@ pub fn run_experiment_from_env(header: &str) -> Experiment {
     let scale = Scale::from_env();
     let seed = seed_from_env();
     let jobs = pq_par::jobs();
+    let faulted = pq_fault::init_from_env();
     let (sites, runs) = scale.params();
     eprintln!(
         "[{header}] scale={} ({sites} sites × 4 networks × 5 stacks × {runs} runs), \
-         seed={seed}, jobs={jobs}",
-        scale.label()
+         seed={seed}, jobs={jobs}{}",
+        scale.label(),
+        if faulted { ", faults=ON" } else { "" },
     );
     let t0 = std::time::Instant::now();
     let e = run_experiment(scale, seed);

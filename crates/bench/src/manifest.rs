@@ -114,6 +114,22 @@ pub struct PltSummary {
     pub p99: f64,
 }
 
+/// One grid cell that fault injection quarantined (manifest mirror of
+/// `pq_study::QuarantinedCell`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QuarantineEntry {
+    /// Site name.
+    pub site: String,
+    /// Network display name.
+    pub network: String,
+    /// Protocol label.
+    pub protocol: String,
+    /// Last failure class observed before giving up.
+    pub reason: String,
+    /// Page loads attempted.
+    pub attempts: u32,
+}
+
 /// Everything a `runall` execution leaves behind for machines.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Manifest {
@@ -145,6 +161,17 @@ pub struct Manifest {
     pub sim_events: u64,
     /// Total page loads simulated.
     pub pageloads: u64,
+    /// The `PQ_FAULTS` spec the run executed under (empty = injection
+    /// off; the digest must then match the committed baseline).
+    pub fault_spec: String,
+    /// Faults the injector actually fired (`fault.injected` counter).
+    pub faults_injected: u64,
+    /// Invalid page loads discarded and re-run by the ≥31-valid-runs
+    /// retry policy.
+    pub runs_retried: u64,
+    /// Grid cells that exhausted their retry budget and were removed;
+    /// the studies and figures ran on the surviving cells.
+    pub cells_quarantined: Vec<QuarantineEntry>,
 }
 
 impl Manifest {
@@ -205,6 +232,21 @@ impl Manifest {
             plt_ms,
             sim_events: counter("sim.events_processed"),
             pageloads: counter("web.pageloads"),
+            fault_spec: pq_fault::plan().map(|p| p.spec.clone()).unwrap_or_default(),
+            faults_injected: counter("fault.injected"),
+            runs_retried: e.stimuli.runs_retried(),
+            cells_quarantined: e
+                .stimuli
+                .quarantined()
+                .iter()
+                .map(|q| QuarantineEntry {
+                    site: q.site.clone(),
+                    network: q.network.clone(),
+                    protocol: q.protocol.clone(),
+                    reason: q.reason.clone(),
+                    attempts: q.attempts,
+                })
+                .collect(),
         }
     }
 
@@ -260,6 +302,23 @@ impl Manifest {
             )
             .with("sim_events", self.sim_events)
             .with("pageloads", self.pageloads)
+            .with("fault_spec", self.fault_spec.as_str())
+            .with("faults_injected", self.faults_injected)
+            .with("runs_retried", self.runs_retried)
+            .with(
+                "cells_quarantined",
+                self.cells_quarantined
+                    .iter()
+                    .map(|q| {
+                        Value::obj()
+                            .with("site", q.site.as_str())
+                            .with("network", q.network.as_str())
+                            .with("protocol", q.protocol.as_str())
+                            .with("reason", q.reason.as_str())
+                            .with("attempts", u64::from(q.attempts))
+                    })
+                    .collect::<Vec<_>>(),
+            )
     }
 
     /// Decode from JSON (inverse of [`Manifest::to_json`]); `None` on
@@ -321,6 +380,23 @@ impl Manifest {
                 .collect::<Option<Vec<_>>>()?,
             sim_events: v.get("sim_events")?.as_u64()?,
             pageloads: v.get("pageloads")?.as_u64()?,
+            fault_spec: v.get("fault_spec")?.as_str()?.to_string(),
+            faults_injected: v.get("faults_injected")?.as_u64()?,
+            runs_retried: v.get("runs_retried")?.as_u64()?,
+            cells_quarantined: v
+                .get("cells_quarantined")?
+                .as_arr()?
+                .iter()
+                .map(|q| {
+                    Some(QuarantineEntry {
+                        site: q.get("site")?.as_str()?.to_string(),
+                        network: q.get("network")?.as_str()?.to_string(),
+                        protocol: q.get("protocol")?.as_str()?.to_string(),
+                        reason: q.get("reason")?.as_str()?.to_string(),
+                        attempts: q.get("attempts")?.as_u64()? as u32,
+                    })
+                })
+                .collect::<Option<Vec<_>>>()?,
         })
     }
 
@@ -426,6 +502,16 @@ mod tests {
             }],
             sim_events: 123_456_789,
             pageloads: 240,
+            fault_spec: "gel:pgb=0.02;flap:at=1500,dur=400".into(),
+            faults_injected: 1702,
+            runs_retried: 36,
+            cells_quarantined: vec![QuarantineEntry {
+                site: "apache.org".into(),
+                network: "DSL".into(),
+                protocol: "QUIC".into(),
+                reason: "incomplete load".into(),
+                attempts: 24,
+            }],
         }
     }
 

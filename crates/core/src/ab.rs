@@ -74,6 +74,11 @@ pub fn run_ab_study(
     videos_per_participant: u32,
     seed: u64,
 ) -> Vec<AbVote> {
+    // A fully quarantined grid (fault injection) leaves nothing to
+    // vote on; degrade to an empty study instead of panicking.
+    if sites.is_empty() || networks.is_empty() || pairs.is_empty() {
+        return Vec::new();
+    }
     let rng = SimRng::new(seed).fork("ab-study");
     let n_votes = videos_per_participant.saturating_sub(CONTROL_VIDEOS).max(1);
 
@@ -82,11 +87,24 @@ pub fn run_ab_study(
         let p = &session.participant;
         let mut r = rng.fork_idx(p.group.name(), u64::from(p.id));
         for _ in 0..n_votes {
-            let site = *r.choose(sites).expect("sites non-empty");
-            let network = *r.choose(networks).expect("networks non-empty");
-            let pair = *r.choose(pairs).expect("pairs non-empty");
-            let a = stimuli.get(site, network, pair.0).metrics;
-            let b = stimuli.get(site, network, pair.1).metrics;
+            // Guarded non-empty above; `else continue` keeps the hot
+            // path panic-free regardless.
+            let (Some(&site), Some(&network), Some(&pair)) =
+                (r.choose(sites), r.choose(networks), r.choose(pairs))
+            else {
+                continue;
+            };
+            // Quarantined cells (fault injection) fall out of the set;
+            // the RNG draws above still happen so the vote stream for
+            // surviving cells stays aligned with the fault-free run.
+            let (Some(sa), Some(sb)) = (
+                stimuli.get(site, network, pair.0),
+                stimuli.get(site, network, pair.1),
+            ) else {
+                continue;
+            };
+            let a = sa.metrics;
+            let b = sb.metrics;
 
             let (choice, confidence, replays) = if session.rusher {
                 // Rushers click without watching: a uniformly random

@@ -210,7 +210,11 @@ pub fn metric_correlation(
         if sample.is_empty() {
             continue;
         }
-        xs.push(stimuli.get(site, network, protocol).metrics.get(metric));
+        let Some(stim) = stimuli.get(site, network, protocol) else {
+            // Cell quarantined under fault injection — no stimulus, no point.
+            continue;
+        };
+        xs.push(stim.metrics.get(metric));
         ys.push(pq_stats::mean(&sample));
     }
     pearson(&xs, &ys)

@@ -135,10 +135,22 @@ pub fn run_rating_study(
                 continue;
             }
             for _ in 0..count {
-                let site = *r.choose(sites).expect("sites non-empty");
-                let network = *r.choose(&env_networks).expect("env has networks");
-                let protocol = *r.choose(protocols).expect("protocols non-empty");
-                let m = stimuli.get(site, network, protocol).metrics;
+                // `env_networks` is non-empty (guarded above); the
+                // `else continue` keeps this panic-free even on an
+                // empty (fully quarantined) grid.
+                let (Some(&site), Some(&network), Some(&protocol)) = (
+                    r.choose(sites),
+                    r.choose(&env_networks),
+                    r.choose(protocols),
+                ) else {
+                    continue;
+                };
+                // A quarantined cell yields no stimulus: skip the vote
+                // (RNG draws above keep surviving cells aligned).
+                let Some(stim) = stimuli.get(site, network, protocol) else {
+                    continue;
+                };
+                let m = stim.metrics;
 
                 let (speed, quality) = if session.rusher {
                     // Rushers drag the slider anywhere.

@@ -67,6 +67,9 @@ pub struct LinkStats {
     pub tail_dropped: u64,
     /// Packets destroyed by random loss.
     pub lost: u64,
+    /// Packets destroyed by injected faults (Gilbert–Elliott bursts,
+    /// link-flap outage windows) that the i.i.d. loss draw spared.
+    pub fault_lost: u64,
     /// Packets that reached the far end.
     pub delivered: u64,
     /// Bytes that reached the far end.
@@ -114,6 +117,10 @@ pub struct Link<P> {
     obs_track: Option<(u32, u32)>,
     /// Human label for trace events (`"down"` / `"up"`).
     obs_label: &'static str,
+    /// Optional injected-fault state (burst loss, flap windows,
+    /// bandwidth oscillation). `None` — the overwhelmingly common
+    /// case — is completely inert: no extra RNG draws, no overhead.
+    fault: Option<pq_fault::LinkFault>,
 }
 
 impl<P> Link<P> {
@@ -129,6 +136,33 @@ impl<P> Link<P> {
             tx_started_at: SimTime::ZERO,
             obs_track: None,
             obs_label: "link",
+            fault: None,
+        }
+    }
+
+    /// Attach injected-fault state to this link direction. The state
+    /// advances once per transmitted packet, independent of the
+    /// baseline i.i.d. loss stream, so attaching it never perturbs
+    /// the fault-free loss pattern.
+    pub fn set_fault(&mut self, fault: Option<pq_fault::LinkFault>) {
+        self.fault = fault;
+    }
+
+    /// Serialization delay for `bytes`, stretched by the bandwidth
+    /// oscillator when one is installed (rate × scale ⇒ delay /
+    /// scale).
+    fn ser_delay(&self, now: SimTime, bytes: u32) -> SimDuration {
+        let base = self.config.serialization_delay(bytes);
+        match &self.fault {
+            Some(f) => {
+                let scale = f.rate_scale(now.as_nanos());
+                if scale < 1.0 {
+                    base.mul_f64(1.0 / scale)
+                } else {
+                    base
+                }
+            }
+            None => base,
         }
     }
 
@@ -191,7 +225,7 @@ impl<P> Link<P> {
                 self.queue.is_empty(),
                 "idle transmitter with queued packets"
             );
-            let done = now + self.config.serialization_delay(pkt.size);
+            let done = now + self.ser_delay(now, pkt.size);
             self.in_flight = Some(pkt);
             self.tx_started_at = now;
             PushOutcome::StartedTx(done)
@@ -226,14 +260,32 @@ impl<P> Link<P> {
             .expect("tx-done callback with no packet in flight");
         self.stats.busy_time += now - self.tx_started_at;
 
-        let delivery = if self.loss_rng.chance(self.config.loss) {
-            self.stats.lost += 1;
+        // The baseline i.i.d. draw always happens first (and always
+        // happens), so fault injection never shifts the fault-free
+        // loss stream. The fault chain then advances exactly once per
+        // packet regardless of the i.i.d. outcome.
+        let iid_lost = self.loss_rng.chance(self.config.loss);
+        let fault_lost = match &mut self.fault {
+            Some(f) => f.lose(now.as_nanos()),
+            None => false,
+        };
+        let delivery = if iid_lost || fault_lost {
+            // Attribute the loss: the i.i.d. stream takes precedence
+            // (it would have killed the packet with or without
+            // faults), injected faults claim the remainder.
+            let (category, name) = if iid_lost {
+                self.stats.lost += 1;
+                ("sim", format!("{} random loss", self.obs_label))
+            } else {
+                self.stats.fault_lost += 1;
+                ("fault", format!("{} injected loss", self.obs_label))
+            };
             if let Some((pid, tid)) = self.obs_track {
                 if pq_obs::enabled(pq_obs::Level::Debug) {
                     pq_obs::tracer().instant(
                         pq_obs::Level::Debug,
-                        "sim",
-                        format!("{} random loss", self.obs_label),
+                        category,
+                        name,
                         pid,
                         tid,
                         now.as_nanos(),
@@ -249,7 +301,7 @@ impl<P> Link<P> {
         };
 
         let next_tx_done = self.queue.pop().map(|next| {
-            let done = now + self.config.serialization_delay(next.size);
+            let done = now + self.ser_delay(now, next.size);
             self.in_flight = Some(next);
             self.tx_started_at = now;
             done
@@ -279,6 +331,10 @@ impl<P> Drop for Link<P> {
         }
         if s.lost > 0 {
             reg.counter_add("sim.link.random_lost", s.lost);
+        }
+        if s.fault_lost > 0 {
+            reg.counter_add("sim.link.fault_lost", s.fault_lost);
+            reg.counter_add("fault.injected", s.fault_lost);
         }
     }
 }
@@ -410,6 +466,118 @@ mod tests {
         // 25 Mbps × 12 ms = 37.5 KB.
         let cfg = LinkConfig::with_queue_ms(25_000_000, SimDuration::ZERO, 0.0, 12);
         assert_eq!(cfg.queue_bytes, 37_500);
+    }
+
+    fn load_faults(spec: &str) -> pq_fault::LoadFaults {
+        use std::sync::Arc;
+        pq_fault::LoadFaults::new(Arc::new(pq_fault::FaultPlan::parse(spec).unwrap()), 7)
+    }
+
+    #[test]
+    fn flap_fault_blacks_out_window() {
+        // Outage between 10 ms and 20 ms: packets whose tx completes
+        // inside the window die, others survive (loss = 0 baseline).
+        let mut link = mk_link(12_000_000, 0, 0.0, 10_000);
+        link.set_fault(load_faults("flap:at=10,dur=10").link_fault("down"));
+        let mut survived = Vec::new();
+        for i in 0..30u32 {
+            let done = match link.push(SimTime::from_millis(u64::from(i)), pkt(i, 1500)) {
+                PushOutcome::StartedTx(t) => t,
+                other => panic!("unexpected {other:?}"),
+            };
+            if link.on_tx_done(done).delivery.is_some() {
+                survived.push(i);
+            }
+        }
+        // tx of packet i completes at (i+1) ms; window is [10, 20) ms
+        // → packets 9..=18 are lost.
+        let expect: Vec<u32> = (0..30).filter(|&i| !(9..19).contains(&i)).collect();
+        assert_eq!(survived, expect);
+        assert_eq!(link.stats().fault_lost, 10);
+        assert_eq!(link.stats().lost, 0, "no i.i.d. loss configured");
+    }
+
+    #[test]
+    fn ge_fault_loses_roughly_stationary_rate() {
+        let mut link = mk_link(1_000_000_000, 0, 0.0, 10_000);
+        // pi_bad = 0.05/0.25 = 0.2, loss_bad = 0.5 → ~10% loss.
+        link.set_fault(load_faults("gel:pgb=0.05,pbg=0.2,good=0.0,bad=0.5").link_fault("down"));
+        let mut now = SimTime::ZERO;
+        let n = 20_000u32;
+        let mut delivered = 0u32;
+        for i in 0..n {
+            let done = match link.push(now, pkt(i, 1000)) {
+                PushOutcome::StartedTx(t) => t,
+                other => panic!("unexpected {other:?}"),
+            };
+            if link.on_tx_done(done).delivery.is_some() {
+                delivered += 1;
+            }
+            now = done;
+        }
+        let rate = 1.0 - f64::from(delivered) / f64::from(n);
+        assert!((rate - 0.1).abs() < 0.02, "measured fault loss {rate}");
+        assert_eq!(link.stats().fault_lost, u64::from(n - delivered));
+    }
+
+    #[test]
+    fn bwosc_stretches_serialization() {
+        // depth=0.5, period 1000 ms: at t=500 ms the scale bottoms out
+        // at 0.5, doubling the serialization delay.
+        let mut link = mk_link(12_000_000, 0, 0.0, 10_000);
+        link.set_fault(load_faults("bwosc:period=1000,depth=0.5").link_fault("down"));
+        let t0 = SimTime::ZERO;
+        let done = match link.push(t0, pkt(1, 1500)) {
+            PushOutcome::StartedTx(t) => t,
+            other => panic!("unexpected {other:?}"),
+        };
+        assert_eq!(done, SimTime::from_millis(1), "peak of the cosine at t=0");
+        link.on_tx_done(done);
+        let mid = SimTime::from_millis(500);
+        let done2 = match link.push(mid, pkt(2, 1500)) {
+            PushOutcome::StartedTx(t) => t,
+            other => panic!("unexpected {other:?}"),
+        };
+        let stretched = (done2 - mid).as_millis_f64();
+        assert!(
+            (stretched - 2.0).abs() < 1e-6,
+            "stretched delay {stretched} ms"
+        );
+    }
+
+    #[test]
+    fn fault_state_does_not_disturb_iid_stream() {
+        // Same seed, same offered packets: the set of i.i.d.-lost
+        // packet ids must be identical with and without a fault chain
+        // attached (fault losses only *add*).
+        let run = |with_fault: bool| -> Vec<u32> {
+            let mut link = mk_link(1_000_000_000, 0, 0.25, 10_000);
+            if with_fault {
+                link.set_fault(load_faults("gel:pgb=0.1,pbg=0.2,bad=0.4").link_fault("down"));
+            }
+            let mut now = SimTime::ZERO;
+            let mut delivered = Vec::new();
+            for i in 0..2000u32 {
+                let done = match link.push(now, pkt(i, 1000)) {
+                    PushOutcome::StartedTx(t) => t,
+                    other => panic!("unexpected {other:?}"),
+                };
+                if link.on_tx_done(done).delivery.is_some() {
+                    delivered.push(i);
+                }
+                now = done;
+            }
+            let iid = link.stats().lost;
+            assert_eq!(iid + link.stats().fault_lost + delivered.len() as u64, 2000);
+            delivered
+        };
+        let base = run(false);
+        let faulted = run(true);
+        // Every packet delivered under faults was also delivered in
+        // the baseline (injection only removes packets)…
+        assert!(faulted.iter().all(|i| base.contains(i)));
+        // …and it genuinely removed some.
+        assert!(faulted.len() < base.len());
     }
 
     #[test]

@@ -115,6 +115,62 @@ pub struct NetworkConfig {
 }
 
 impl NetworkConfig {
+    /// Validate this configuration, returning it unchanged when every
+    /// parameter is usable. Rejected: zero bandwidth in either
+    /// direction, loss outside `[0, 1]` or NaN, a non-finite or
+    /// negative RTT. Use this at every boundary that accepts
+    /// user-supplied (`custom_net`-style) parameters — the presets in
+    /// [`NetworkKind::config`] are valid by construction.
+    pub fn checked(self) -> Result<NetworkConfig, pq_fault::PqError> {
+        fn bad(msg: String) -> pq_fault::PqError {
+            pq_fault::PqError::InvalidConfig(msg)
+        }
+        if self.up_bps == 0 {
+            return Err(bad("uplink bandwidth must be > 0 bps".into()));
+        }
+        if self.down_bps == 0 {
+            return Err(bad("downlink bandwidth must be > 0 bps".into()));
+        }
+        if !self.loss.is_finite() || !(0.0..=1.0).contains(&self.loss) {
+            return Err(bad(format!(
+                "loss {} must be a probability in [0,1]",
+                self.loss
+            )));
+        }
+        Ok(self)
+    }
+
+    /// Clamp this configuration to usable values, warning through the
+    /// tracer for each adjustment. This is the graceful-degradation
+    /// path for `custom_net`-style configs: prefer [`checked`] where
+    /// an error can be surfaced instead.
+    ///
+    /// [`checked`]: NetworkConfig::checked
+    pub fn sanitized(mut self) -> NetworkConfig {
+        let warn = |what: &str, from: String, to: String| {
+            pq_obs::tracer().warn(
+                "sim",
+                format!("custom network config: clamped {what} from {from} to {to}"),
+            );
+        };
+        if self.up_bps == 0 {
+            warn("up_bps", "0".into(), "1000".into());
+            self.up_bps = 1000;
+        }
+        if self.down_bps == 0 {
+            warn("down_bps", "0".into(), "1000".into());
+            self.down_bps = 1000;
+        }
+        if !self.loss.is_finite() || self.loss < 0.0 {
+            warn("loss", format!("{}", self.loss), "0".into());
+            self.loss = 0.0;
+        } else if self.loss > 1.0 {
+            warn("loss", format!("{}", self.loss), "1".into());
+            self.loss = 1.0;
+        }
+        self
+    }
+
     /// Link config for the uplink direction.
     pub fn uplink(&self) -> LinkConfig {
         LinkConfig::with_queue_ms(self.up_bps, self.min_rtt / 2, self.loss, self.queue_ms)
@@ -174,6 +230,47 @@ mod tests {
         // segments, which is why IW32 overshoots there (§4.3).
         let bdp = NetworkKind::Da2gc.config().bdp_bytes();
         assert!((15_000..16_000).contains(&bdp), "bdp {bdp}");
+    }
+
+    #[test]
+    fn checked_accepts_all_presets() {
+        for kind in NetworkKind::ALL {
+            assert!(kind.config().checked().is_ok(), "{kind} preset invalid?");
+        }
+    }
+
+    #[test]
+    fn checked_rejects_degenerate_configs() {
+        let base = NetworkKind::Dsl.config();
+        let mut zero_up = base.clone();
+        zero_up.up_bps = 0;
+        assert!(zero_up.checked().is_err());
+        let mut zero_down = base.clone();
+        zero_down.down_bps = 0;
+        assert!(zero_down.checked().is_err());
+        let mut nan_loss = base.clone();
+        nan_loss.loss = f64::NAN;
+        assert!(nan_loss.checked().is_err());
+        let mut neg_loss = base.clone();
+        neg_loss.loss = -0.1;
+        assert!(neg_loss.checked().is_err());
+        let mut big_loss = base;
+        big_loss.loss = 1.5;
+        assert!(big_loss.checked().is_err());
+    }
+
+    #[test]
+    fn sanitized_clamps_into_range() {
+        let mut cfg = NetworkKind::Lte.config();
+        cfg.up_bps = 0;
+        cfg.loss = 2.0;
+        let fixed = cfg.sanitized();
+        assert_eq!(fixed.up_bps, 1000);
+        assert_eq!(fixed.loss, 1.0);
+        assert!(fixed.checked().is_ok());
+        let mut nan = NetworkKind::Lte.config();
+        nan.loss = f64::NAN;
+        assert_eq!(nan.sanitized().loss, 0.0);
     }
 
     #[test]

@@ -134,4 +134,18 @@ impl Connection {
             Connection::Quic(c) => c.retransmits(),
         }
     }
+
+    /// Drop every buffered outgoing packet (fault injection: "the
+    /// first flight never reached the wire"). Progress and trace
+    /// outputs are preserved; only `Output::Send` entries vanish.
+    /// Returns the number of packets discarded. Recovery is the
+    /// transport's own job: the TCP handshake timer re-emits the SYN
+    /// with exponential backoff, and QUIC's RTO requeues the CHLO —
+    /// exactly the machinery a real lost flight exercises.
+    pub fn discard_pending_sends(&mut self) -> usize {
+        match self {
+            Connection::Tcp(c) => c.discard_pending_sends(),
+            Connection::Quic(c) => c.discard_pending_sends(),
+        }
+    }
 }

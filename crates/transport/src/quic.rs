@@ -636,6 +636,14 @@ impl QuicConnection {
         std::mem::take(&mut self.out)
     }
 
+    /// Drop buffered outgoing packets (fault injection). Non-`Send`
+    /// outputs survive. The RTO requeues the CHLO / lost chunks.
+    pub fn discard_pending_sends(&mut self) -> usize {
+        let before = self.out.len();
+        self.out.retain(|o| !matches!(o, Output::Send(..)));
+        before - self.out.len()
+    }
+
     /// The client opens a request stream carrying `bytes` and closing
     /// with FIN (an HTTP request).
     pub fn client_open_stream(&mut self, now: SimTime, stream: StreamId, bytes: u64) {

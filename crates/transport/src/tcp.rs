@@ -668,6 +668,14 @@ impl TcpConnection {
         v
     }
 
+    /// Drop buffered outgoing packets (fault injection). Non-`Send`
+    /// outputs survive. The handshake timer / data RTOs recover.
+    pub fn discard_pending_sends(&mut self) -> usize {
+        let before = self.out.len();
+        self.out.retain(|o| !matches!(o, Output::Send(..)));
+        before - self.out.len()
+    }
+
     fn send_ctl(&mut self, from_client: bool, kind: TcpSegKind) {
         let seg = TcpSegment { from_client, kind };
         let dir = if from_client {

@@ -66,6 +66,11 @@ pub struct LoadOptions {
     pub processing_scale: f64,
     /// HTTP version for the TCP stacks (ignored by QUIC).
     pub http_version: HttpVersion,
+    /// Fault-injection plan for this load (`None` = no injection; the
+    /// default). Tests should thread a plan here explicitly; the
+    /// `PQ_FAULTS`-driven harness installs the process-global plan and
+    /// copies it in at the runner layer.
+    pub faults: Option<std::sync::Arc<pq_fault::FaultPlan>>,
 }
 
 impl Default for LoadOptions {
@@ -78,6 +83,7 @@ impl Default for LoadOptions {
             trace_capacity: 0,
             processing_scale: 1.0,
             http_version: HttpVersion::Http2,
+            faults: None,
         }
     }
 }
@@ -181,6 +187,8 @@ struct Loader<'a> {
     obs_pid: Option<u32>,
     /// Request-issue instant per object (waterfall span start).
     req_at: Vec<Option<SimTime>>,
+    /// Per-load fault view (`None` = injection off).
+    faults: Option<pq_fault::LoadFaults>,
 }
 
 /// Load `site` over `net` with `protocol`; `seed` drives every source
@@ -192,7 +200,33 @@ pub fn load_page(
     seed: u64,
     opts: &LoadOptions,
 ) -> PageLoadResult {
-    load_page_with_config(site, net, &protocol.config(net), seed, opts)
+    // Degenerate (`custom_net`-style) configs are clamped with a
+    // tracer warning rather than simulated as garbage; valid configs
+    // pass through untouched, so baselines are unaffected. Use
+    // [`try_load_page`] to surface the error instead.
+    let net = net.clone().sanitized();
+    load_page_with_config(site, &net, &protocol.config(&net), seed, opts)
+}
+
+/// Validating variant of [`load_page`]: rejects degenerate network
+/// configurations (zero bandwidth, loss outside `[0,1]`, NaN) instead
+/// of simulating garbage. Prefer this at boundaries that accept
+/// user-supplied (`custom_net`-style) parameters.
+pub fn try_load_page(
+    site: &Website,
+    net: &NetworkConfig,
+    protocol: Protocol,
+    seed: u64,
+    opts: &LoadOptions,
+) -> Result<PageLoadResult, pq_fault::PqError> {
+    let net = net.clone().checked()?;
+    Ok(load_page_with_config(
+        site,
+        &net,
+        &protocol.config(&net),
+        seed,
+        opts,
+    ))
 }
 
 /// Load with an explicit stack configuration — the knob-by-knob API
@@ -215,8 +249,19 @@ pub fn load_page_with_config(
         }
     }
     for c in &mut children {
-        c.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite fractions"));
+        // total_cmp: discovery fractions are finite by construction,
+        // but the sort must never be the thing that panics.
+        c.sort_by(|a, b| a.0.total_cmp(&b.0));
     }
+
+    // Bind the fault plan (if any) to this load, keyed by its seed —
+    // every injection decision below is a pure function of
+    // `(fault seed, load seed, entity id)`.
+    let faults = opts
+        .faults
+        .as_ref()
+        .filter(|p| !p.is_empty())
+        .map(|p| pq_fault::LoadFaults::new(p.clone(), seed));
 
     let expect: Vec<u64> = site
         .objects
@@ -255,6 +300,10 @@ pub fn load_page_with_config(
         up.set_obs_track(pid, TID_PAGE, "uplink");
         down.set_obs_track(pid, TID_PAGE, "downlink");
     }
+    if let Some(f) = &faults {
+        up.set_fault(f.link_fault("uplink"));
+        down.set_fault(f.link_fault("downlink"));
+    }
 
     let mut loader = Loader {
         site,
@@ -285,6 +334,7 @@ pub fn load_page_with_config(
         trace: Trace::with_capacity(opts.trace_capacity),
         obs_pid,
         req_at: vec![None; n],
+        faults,
     };
 
     loader.discover(SimTime::ZERO, ObjectId(0));
@@ -364,9 +414,38 @@ impl<'a> Loader<'a> {
         self.pump(now, ci);
     }
 
+    /// Record one injected fault: bump the global counter and drop an
+    /// instant on the page track's `fault` category.
+    fn note_fault(&mut self, now: SimTime, what: &str, detail: u64) {
+        pq_obs::registry().counter_add("fault.injected", 1);
+        if let Some(pid) = self.obs_pid {
+            if pq_obs::enabled(Level::Info) {
+                pq_obs::tracer().instant(
+                    Level::Info,
+                    "fault",
+                    what.to_string(),
+                    pid,
+                    TID_PAGE,
+                    now.as_nanos(),
+                    vec![("id", ArgValue::U64(detail))],
+                );
+            }
+        }
+    }
+
     fn open_conn(&mut self, now: SimTime, mux: Mux) -> u32 {
         let ci = self.conns.len() as u32;
         let mut conn = Connection::open(ConnId(ci), self.cfg.clone(), now);
+        // Handshake fault: the first client flight never reaches the
+        // wire; the transport's own handshake timeout / RTO machinery
+        // must recover (that recovery is exactly what we're testing).
+        let hs_lost = self
+            .faults
+            .as_ref()
+            .is_some_and(|f| f.handshake_flight_lost(ci));
+        if hs_lost && conn.discard_pending_sends() > 0 {
+            self.note_fault(now, "handshake flight lost", u64::from(ci));
+        }
         if let Some(pid) = self.obs_pid {
             let tid = TID_CONN_BASE + ci;
             conn.set_obs_track(pid, tid);
@@ -397,13 +476,11 @@ impl<'a> Loader<'a> {
         let ci = match idle {
             Some(ci) => ci,
             None if pool.can_grow() => {
-                let ci = self.conns.len() as u32;
-                self.h1_pools
-                    .get_mut(&origin)
-                    .expect("pool exists")
-                    .conns
-                    .push(ci);
-                self.open_conn(now, Mux::H1(H1Conn::new()))
+                let ci = self.open_conn(now, Mux::H1(H1Conn::new()));
+                if let Some(pool) = self.h1_pools.get_mut(&origin) {
+                    pool.conns.push(ci);
+                }
+                ci
             }
             None => {
                 pool.waiting.push_back(id);
@@ -505,8 +582,15 @@ impl<'a> Loader<'a> {
                     }
                 };
                 for obj in ready {
-                    let think = self.opts.think_base_ms
+                    // The baseline think-time draw always happens, so
+                    // the jitter stream is identical with faults off.
+                    let mut think = self.opts.think_base_ms
                         + self.think_rng.exponential(self.opts.think_jitter_ms);
+                    let stall = self.faults.as_ref().and_then(|f| f.server_stall_ms(obj.0));
+                    if let Some(extra) = stall {
+                        think += extra;
+                        self.note_fault(now, "server stall", u64::from(obj.0));
+                    }
                     self.q.schedule(
                         now + SimDuration::from_secs_f64(think / 1e3),
                         Ev::Respond(ci, obj),
@@ -778,7 +862,7 @@ impl<'a> Loader<'a> {
             if t > horizon || self.q.processed() > max_events {
                 break;
             }
-            let (now, ev) = self.q.pop().expect("peeked");
+            let Some((now, ev)) = self.q.pop() else { break };
             match ev {
                 Ev::UpTx => {
                     let txd = self.up.on_tx_done(now);
@@ -829,7 +913,16 @@ impl<'a> Loader<'a> {
                     }
                 }
                 Ev::Respond(ci, obj) => {
-                    let body = self.obj(obj).size;
+                    let mut body = self.obj(obj).size;
+                    // Truncated-response fault: the server closes the
+                    // stream early, so the client can never reach the
+                    // expected byte count and the object stays open —
+                    // the page load ends incomplete at the horizon.
+                    let trunc = self.faults.as_ref().and_then(|f| f.truncate(obj.0));
+                    if let Some(frac) = trunc {
+                        body = ((body as f64 * frac) as u64).min(body.saturating_sub(1));
+                        self.note_fault(now, "truncated response", u64::from(obj.0));
+                    }
                     let state = &mut self.conns[ci as usize];
                     match &mut state.mux {
                         Mux::H1(h) => {

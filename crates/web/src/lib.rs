@@ -18,7 +18,9 @@ pub mod http3;
 pub mod object;
 pub mod website;
 
-pub use browser::{load_page, load_page_with_config, HttpVersion, LoadOptions, PageLoadResult};
+pub use browser::{
+    load_page, load_page_with_config, try_load_page, HttpVersion, LoadOptions, PageLoadResult,
+};
 pub use catalogue::{corpus, corpus_specs, site, CORPUS_SIZE, LAB_SITES};
 pub use object::{ObjectId, ObjectKind, WebObject};
 pub use website::{SiteSpec, Website};

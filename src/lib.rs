@@ -18,7 +18,10 @@
 //! * [`study`] — participants, the A/B and rating studies, analysis,
 //! * [`par`] — the deterministic work-stealing execution engine that
 //!   spreads the stimulus/study grid across cores (`PQ_JOBS`) with
-//!   bit-identical output.
+//!   bit-identical output,
+//! * [`fault`] — seed-deterministic fault injection (`PQ_FAULTS`) and
+//!   the shared [`fault::PqError`] taxonomy behind the pipeline's
+//!   graceful-degradation paths.
 //!
 //! ## Quickstart
 //!
@@ -35,6 +38,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use pq_fault as fault;
 pub use pq_metrics as metrics;
 pub use pq_par as par;
 pub use pq_sim as sim;

@@ -37,7 +37,9 @@ fn assert_stimuli_identical(a: &StimulusSet, b: &StimulusSet) {
     let mut cells = 0;
     for s in a.iter() {
         let c = s.condition;
-        let p = b.get(c.site, c.network, c.protocol);
+        let p = b
+            .get(c.site, c.network, c.protocol)
+            .expect("same cells survive");
         assert_eq!(s.runs, p.runs);
         assert_eq!(s.metrics.fvc_ms.to_bits(), p.metrics.fvc_ms.to_bits());
         assert_eq!(s.metrics.si_ms.to_bits(), p.metrics.si_ms.to_bits());

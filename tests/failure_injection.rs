@@ -102,6 +102,206 @@ fn zero_processing_ablation_still_works() {
     );
 }
 
+// ---------------------------------------------------------------------------
+// pq-fault spec-driven cases: the injector is threaded explicitly via
+// `LoadOptions::faults` / `build_with_faults` (never the process
+// global, so tests cannot interfere with each other).
+// ---------------------------------------------------------------------------
+
+use perceiving_quic::fault::FaultPlan;
+use perceiving_quic::study::StimulusSet;
+use std::sync::Arc;
+
+fn plan(spec: &str) -> Arc<FaultPlan> {
+    Arc::new(FaultPlan::parse(spec).expect("valid fault spec"))
+}
+
+#[test]
+fn burst_loss_and_flap_mid_load_all_five_stacks() {
+    // Gilbert–Elliott burst loss plus a 300 ms link flap mid-load:
+    // every protocol stack must either finish the page or report a
+    // clean incomplete load — and the visual metrics must stay
+    // well-ordered either way. (At grid level an incomplete load is
+    // retried and eventually quarantined; here we assert the per-load
+    // contract the retry policy builds on.)
+    let faults = plan("seed=11;gel:pgb=0.02,pbg=0.3,bad=0.4;flap:at=800,dur=300");
+    let net = NetworkKind::Dsl.config();
+    let site = web::site("apache.org").unwrap();
+    for proto in Protocol::ALL {
+        let opts = LoadOptions {
+            horizon: SimDuration::from_secs(600),
+            faults: Some(faults.clone()),
+            ..LoadOptions::default()
+        };
+        let r = load_page(&site, &net, proto, 21, &opts);
+        assert!(
+            r.metrics.well_ordered(),
+            "{} under burst loss + flap: {:?}",
+            proto.label(),
+            r.metrics
+        );
+        assert!(
+            r.complete || r.metrics.fvc_ms >= 0.0,
+            "{}: incomplete load must still carry sane partial metrics",
+            proto.label()
+        );
+    }
+}
+
+#[test]
+fn handshake_flight_loss_recovers_on_every_stack() {
+    // hs:p=1 drops the *first client flight* of every connection; the
+    // retransmission machinery (SYN backoff / QUIC RTO) must bring all
+    // five stacks back without help.
+    let faults = plan("hs:p=1");
+    let net = NetworkKind::Dsl.config();
+    let site = web::site("gov.uk").unwrap();
+    for proto in Protocol::ALL {
+        let opts = LoadOptions {
+            horizon: SimDuration::from_secs(600),
+            faults: Some(faults.clone()),
+            ..LoadOptions::default()
+        };
+        let r = load_page(&site, &net, proto, 23, &opts);
+        assert!(
+            r.complete,
+            "{}: lost handshake flight never recovered",
+            proto.label()
+        );
+        assert!(r.metrics.well_ordered(), "{}", proto.label());
+        // Recovery costs at least one retransmission timeout.
+        let clean = load_page(
+            &site,
+            &net,
+            proto,
+            23,
+            &LoadOptions {
+                horizon: SimDuration::from_secs(600),
+                ..LoadOptions::default()
+            },
+        );
+        assert!(
+            r.metrics.plt_ms > clean.metrics.plt_ms,
+            "{}: dropped flight should cost time ({} !> {})",
+            proto.label(),
+            r.metrics.plt_ms,
+            clean.metrics.plt_ms
+        );
+    }
+}
+
+#[test]
+fn grid_cells_complete_or_quarantine_under_faults() {
+    // Moderate fault mix over a small grid: every cell must either
+    // survive (valid stimulus present) or be quarantined — never lost
+    // silently, never a panic.
+    let faults = plan("seed=3;gel:pgb=0.01,pbg=0.3,bad=0.3;stall:p=0.05,ms=800");
+    let sites = vec![
+        web::site("apache.org").unwrap(),
+        web::site("gov.uk").unwrap(),
+    ];
+    let networks = [NetworkKind::Dsl, NetworkKind::Lte];
+    let protocols = [Protocol::Tcp, Protocol::Quic];
+    let set = StimulusSet::build_with_faults(&sites, &networks, &protocols, 2, 5, Some(faults));
+    for (si, site) in sites.iter().enumerate() {
+        for net in networks {
+            for proto in protocols {
+                let present = set.get(si as u16, net, proto).is_some();
+                let quarantined = set.quarantined().iter().any(|q| {
+                    q.site == site.name && q.network == net.name() && q.protocol == proto.label()
+                });
+                assert!(
+                    present || quarantined,
+                    "{}/{}/{} vanished without quarantine",
+                    site.name,
+                    net.name(),
+                    proto.label()
+                );
+                if present {
+                    let s = set.get(si as u16, net, proto).unwrap();
+                    assert!(s.metrics.well_ordered());
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn total_truncation_quarantines_the_grid_but_study_survives() {
+    // trunc:p=1 truncates every response body: no load can ever
+    // complete, so the retry budget drains and *every* cell is
+    // quarantined — and the downstream study must still run on the
+    // empty set instead of panicking.
+    let faults = plan("trunc:p=1,frac=0.3");
+    let sites = vec![web::site("apache.org").unwrap()];
+    let set = StimulusSet::build_with_faults(
+        &sites,
+        &[NetworkKind::Dsl],
+        &[Protocol::Tcp, Protocol::Quic],
+        2,
+        7,
+        Some(faults),
+    );
+    assert_eq!(set.quarantined().len(), 2, "{:?}", set.quarantined());
+    assert!(set.iter().next().is_none(), "no cell can survive trunc:p=1");
+    assert!(set.runs_retried() > 0, "retries must be recorded");
+    // Graceful degradation: the studies vote on nothing, but run.
+    let data = run_study(&set, 7);
+    assert!(data.ab.is_empty());
+    assert!(data.ratings.is_empty());
+}
+
+#[test]
+fn faulted_grid_is_deterministic_across_worker_counts() {
+    // The fault chains are keyed by (fault seed, cell coordinates), so
+    // a faulted build must stay bit-identical at any PQ_JOBS.
+    let spec = "seed=9;gel:pgb=0.02,pbg=0.25,bad=0.3;stall:p=0.1,ms=500";
+    let sites = vec![web::site("apache.org").unwrap()];
+    let build = |jobs| {
+        perceiving_quic::par::set_jobs(Some(jobs));
+        let set = StimulusSet::build_with_faults(
+            &sites,
+            &[NetworkKind::Dsl, NetworkKind::Lte],
+            &[Protocol::Tcp, Protocol::Quic],
+            3,
+            13,
+            Some(plan(spec)),
+        );
+        perceiving_quic::par::set_jobs(None);
+        set
+    };
+    let serial = build(1);
+    let parallel = build(4);
+    assert_eq!(serial.quarantined(), parallel.quarantined());
+    assert_eq!(serial.runs_retried(), parallel.runs_retried());
+    for s in serial.iter() {
+        let c = s.condition;
+        let p = parallel
+            .get(c.site, c.network, c.protocol)
+            .expect("same survivors");
+        assert_eq!(s.metrics.plt_ms.to_bits(), p.metrics.plt_ms.to_bits());
+        assert_eq!(s.metrics.si_ms.to_bits(), p.metrics.si_ms.to_bits());
+        assert_eq!(s.runs, p.runs);
+    }
+}
+
+#[test]
+fn try_load_page_rejects_broken_configs() {
+    let site = web::site("apache.org").unwrap();
+    let mut net = NetworkKind::Dsl.config();
+    net.down_bps = 0;
+    let err = web::try_load_page(&site, &net, Protocol::Quic, 1, &LoadOptions::default());
+    assert!(err.is_err(), "zero-bandwidth config must be rejected");
+    let ok = web::try_load_page(
+        &site,
+        &NetworkKind::Dsl.config(),
+        Protocol::Quic,
+        1,
+        &LoadOptions::default(),
+    );
+    assert!(ok.is_ok());
+}
+
 #[test]
 fn asymmetric_uplink_starvation() {
     // A nearly-dead uplink (16 kbps) chokes requests and ACKs; loads
