@@ -1,5 +1,7 @@
 //! Design-choice ablations: conformance filtering value and session accounting.
 
+#![forbid(unsafe_code)]
+
 fn main() {
     pq_obs::init_from_env();
     let e = pq_bench::run_experiment_from_env("ablation");

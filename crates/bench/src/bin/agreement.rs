@@ -1,5 +1,7 @@
 //! Regenerates the section 4.2 agreement statistics (answer times, replays, demographics).
 
+#![forbid(unsafe_code)]
+
 fn main() {
     pq_obs::init_from_env();
     let e = pq_bench::run_experiment_from_env("agreement");

@@ -6,6 +6,8 @@
 //! PQ_SCALE=reduced cargo run --release -p pq-bench --bin export -- out.json
 //! ```
 
+#![forbid(unsafe_code)]
+
 use pq_obs::json::Value;
 
 fn main() {

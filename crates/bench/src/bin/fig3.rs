@@ -1,5 +1,7 @@
 //! Regenerates Figure 3 (rating agreement across subject groups).
 
+#![forbid(unsafe_code)]
+
 fn main() {
     pq_obs::init_from_env();
     let e = pq_bench::run_experiment_from_env("fig3");

@@ -1,5 +1,7 @@
 //! Regenerates Figure 4 (A/B study vote shares per pair and network).
 
+#![forbid(unsafe_code)]
+
 fn main() {
     pq_obs::init_from_env();
     let e = pq_bench::run_experiment_from_env("fig4");

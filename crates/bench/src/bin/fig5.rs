@@ -1,5 +1,7 @@
 //! Regenerates Figure 5 (rating means, CIs and ANOVA significance).
 
+#![forbid(unsafe_code)]
+
 fn main() {
     pq_obs::init_from_env();
     let e = pq_bench::run_experiment_from_env("fig5");

@@ -1,5 +1,7 @@
 //! Regenerates Figure 6 (Pearson metric-vote correlation heatmap).
 
+#![forbid(unsafe_code)]
+
 fn main() {
     pq_obs::init_from_env();
     let e = pq_bench::run_experiment_from_env("fig6");

@@ -3,6 +3,8 @@
 //! manifest (`results/manifest.json`) and the phase-timing regression
 //! baseline (`results/BENCH_obs.json`).
 
+#![forbid(unsafe_code)]
+
 use pq_bench::manifest::{bench_obs_json, write_json, Manifest};
 use pq_bench::report;
 

@@ -16,6 +16,8 @@
 //! PQ_JOBS=8 cargo run --release -p pq-bench --bin sweep
 //! ```
 
+#![forbid(unsafe_code)]
+
 use pq_sim::{NetworkConfig, NetworkKind, SimDuration};
 use pq_transport::Protocol;
 use pq_web::{catalogue, load_page, LoadOptions};

@@ -1,5 +1,7 @@
 //! Regenerates Table 1 (protocol configurations).
 
+#![forbid(unsafe_code)]
+
 fn main() {
     pq_obs::init_from_env();
     pq_bench::report::print_table1();

@@ -1,5 +1,7 @@
 //! Regenerates Table 2 (network configurations) and validates the emulation against it.
 
+#![forbid(unsafe_code)]
+
 fn main() {
     pq_obs::init_from_env();
     pq_bench::report::print_table2();

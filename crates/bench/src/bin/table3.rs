@@ -1,5 +1,7 @@
 //! Regenerates Table 3 (participation and conformance-filter funnel).
 
+#![forbid(unsafe_code)]
+
 fn main() {
     pq_obs::init_from_env();
     let e = pq_bench::run_experiment_from_env("table3");

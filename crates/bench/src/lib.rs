@@ -98,11 +98,11 @@ impl Scale {
     /// Read from `PQ_SCALE` (default `reduced`). Unknown values warn
     /// via the tracer instead of being silently swallowed.
     pub fn from_env() -> Scale {
-        match std::env::var("PQ_SCALE").as_deref() {
-            Ok("smoke") => Scale::Smoke,
-            Ok("reduced") => Scale::Reduced,
-            Ok("full") => Scale::Full,
-            Ok(other) => {
+        match pq_obs::env::var("PQ_SCALE").as_deref() {
+            Some("smoke") => Scale::Smoke,
+            Some("reduced") => Scale::Reduced,
+            Some("full") => Scale::Full,
+            Some(other) => {
                 pq_obs::tracer().warn(
                     "bench",
                     format!(
@@ -112,7 +112,7 @@ impl Scale {
                 );
                 Scale::Reduced
             }
-            Err(_) => Scale::Reduced,
+            None => Scale::Reduced,
         }
     }
 
@@ -139,8 +139,8 @@ impl Scale {
 /// An unparsable value warns via the tracer instead of being silently
 /// replaced by the default.
 pub fn seed_from_env() -> u64 {
-    match std::env::var("PQ_SEED") {
-        Ok(s) => match s.parse() {
+    match pq_obs::env::var("PQ_SEED") {
+        Some(s) => match s.parse() {
             Ok(seed) => seed,
             Err(_) => {
                 pq_obs::tracer().warn(
@@ -150,7 +150,7 @@ pub fn seed_from_env() -> u64 {
                 1910
             }
         },
-        Err(_) => 1910,
+        None => 1910,
     }
 }
 

@@ -172,6 +172,10 @@ pub struct Manifest {
     /// Grid cells that exhausted their retry budget and were removed;
     /// the studies and figures ran on the surviving cells.
     pub cells_quarantined: Vec<QuarantineEntry>,
+    /// Total grandfathered findings in the committed `pq-lint.baseline`
+    /// at run time. The baseline only shrinks, so re-anchors can watch
+    /// the static-analysis debt pay down across recorded runs.
+    pub lint_baseline_count: u64,
 }
 
 impl Manifest {
@@ -247,6 +251,9 @@ impl Manifest {
                     attempts: q.attempts,
                 })
                 .collect(),
+            lint_baseline_count: pq_lint::Baseline::load(std::path::Path::new("pq-lint.baseline"))
+                .map(|b| b.total() as u64)
+                .unwrap_or(0),
         }
     }
 
@@ -319,6 +326,7 @@ impl Manifest {
                     })
                     .collect::<Vec<_>>(),
             )
+            .with("lint_baseline_count", self.lint_baseline_count)
     }
 
     /// Decode from JSON (inverse of [`Manifest::to_json`]); `None` on
@@ -397,6 +405,7 @@ impl Manifest {
                     })
                 })
                 .collect::<Option<Vec<_>>>()?,
+            lint_baseline_count: v.get("lint_baseline_count")?.as_u64()?,
         })
     }
 
@@ -512,6 +521,7 @@ mod tests {
                 reason: "incomplete load".into(),
                 attempts: 24,
             }],
+            lint_baseline_count: 99,
         }
     }
 

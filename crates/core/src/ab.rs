@@ -79,6 +79,7 @@ pub fn run_ab_study(
     if sites.is_empty() || networks.is_empty() || pairs.is_empty() {
         return Vec::new();
     }
+    // pq-lint: allow(rng) -- study-entry derivation point: `seed` is the study seed, every draw forks from the "ab-study" stream
     let rng = SimRng::new(seed).fork("ab-study");
     let n_votes = videos_per_participant.saturating_sub(CONTROL_VIDEOS).max(1);
 

@@ -315,7 +315,7 @@ pub fn fig3_agreement(votes: &[RatingVote], confidence: f64) -> Vec<AgreementRow
             },
         )
         .collect();
-    rows.sort_by(|a, b| a.lab.mean.partial_cmp(&b.lab.mean).expect("finite means"));
+    rows.sort_by(|a, b| a.lab.mean.total_cmp(&b.lab.mean));
     rows
 }
 

@@ -14,7 +14,7 @@ use crate::session::Session;
 use crate::stimulus::StimulusSet;
 use pq_sim::{NetworkKind, SimRng};
 use pq_transport::Protocol;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// The framing environment of a rating block (§4: "imaging being i) at
 /// work, ii) in their free time, or iii) on a plane").
@@ -88,7 +88,8 @@ pub struct RatingVote {
 /// Per-site "taste" offsets shared by every participant (site design
 /// likability — the non-speed variance that bounds Fig. 6's
 /// correlations in fast networks). Drawn once per study.
-pub fn site_tastes(n_sites: u16, seed: u64) -> HashMap<u16, f64> {
+pub fn site_tastes(n_sites: u16, seed: u64) -> BTreeMap<u16, f64> {
+    // pq-lint: allow(rng) -- study-entry derivation point: `seed` is the study seed, tastes fork from the "site-taste" stream
     let mut rng = SimRng::new(seed).fork("site-taste");
     (0..n_sites)
         .map(|s| (s, rng.normal_with(0.0, calib::SITE_TASTE_SD)))
@@ -110,9 +111,10 @@ pub fn run_rating_study(
     protocols: &[Protocol],
     sites: &[u16],
     videos: (u32, u32, u32),
-    tastes: &HashMap<u16, f64>,
+    tastes: &BTreeMap<u16, f64>,
     seed: u64,
 ) -> Vec<RatingVote> {
+    // pq-lint: allow(rng) -- study-entry derivation point: `seed` is the study seed, per-participant streams fork by (group, id)
     let rng = SimRng::new(seed).fork("rating-study");
     let available = stimuli.networks();
 

@@ -78,6 +78,7 @@ pub fn population(kind: StudyKind, group: Group, seed: u64) -> Vec<Session> {
         StudyKind::AB => calib::RECRUITED[group.idx()].0,
         StudyKind::Rating => calib::RECRUITED[group.idx()].1,
     };
+    // pq-lint: allow(rng) -- population-entry derivation point: `seed` is the study seed, sessions fork by study kind
     let rng = SimRng::new(seed).fork(match kind {
         StudyKind::AB => "ab-sessions",
         StudyKind::Rating => "rating-sessions",

@@ -11,11 +11,11 @@ use pq_metrics::{typical_run, MetricSet};
 use pq_sim::{NetworkKind, SimRng};
 use pq_transport::Protocol;
 use pq_web::{load_page, LoadOptions, Website};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// One experimental condition.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Condition {
     /// Index into the stimulus set's site list.
     pub site: u16,
@@ -66,7 +66,7 @@ pub struct QuarantinedCell {
 pub struct StimulusSet {
     /// Site names, indexed by [`Condition::site`].
     pub site_names: Vec<String>,
-    map: HashMap<Condition, Stimulus>,
+    map: BTreeMap<Condition, Stimulus>,
     /// Cells that never produced a valid run (deterministic grid
     /// order).
     quarantined: Vec<QuarantinedCell>,
@@ -86,6 +86,7 @@ pub struct StimulusSet {
 /// re-derivation (which would silently invalidate every recorded
 /// baseline) cannot slip through.
 pub fn run_seed(seed: u64, site: &str, network: NetworkKind, protocol: Protocol, run: u32) -> u64 {
+    // pq-lint: allow(rng) -- this IS the sanctioned derivation point: the pure (seed, cell) → page-load-seed function
     SimRng::new(seed)
         .fork_idx(
             &format!("{}/{}/{}", site, network.name(), protocol.label()),
@@ -222,6 +223,7 @@ impl StimulusSet {
             let Some(idx) = typical_run(&all) else {
                 return Err(("typical-run selection failed".into(), attempt));
             };
+            // pq-lint: allow(float-sum) -- summed over one cell's serial run vector; order never depends on worker placement
             let mean_plt = all.iter().map(|m| m.plt_ms).sum::<f64>() / all.len() as f64;
             let metrics = all[idx];
             let got = all.len() as u32;
@@ -243,7 +245,7 @@ impl StimulusSet {
         // still panicking after MAX_PANIC_PASSES are quarantined.
         let mut outcomes: Vec<Option<CellResult>> = (0..cells.len()).map(|_| None).collect();
         let mut pending: Vec<usize> = (0..cells.len()).collect();
-        let mut last_panic: HashMap<usize, String> = HashMap::new();
+        let mut last_panic: BTreeMap<usize, String> = BTreeMap::new();
         for pass in 0..MAX_PANIC_PASSES {
             if pending.is_empty() {
                 break;
@@ -252,6 +254,7 @@ impl StimulusSet {
                 let cond = &cells[i];
                 if let Some(p) = &plan {
                     if pq_fault::injected_panic(p, &label(cond), pass) {
+                        // pq-lint: allow(panic) -- the injected panic IS the fault under test; try_par_map catches it and the pass loop retries/quarantines
                         panic!(
                             "{}: {} (pass {pass})",
                             pq_fault::INJECTED_PANIC_MSG,
@@ -284,7 +287,7 @@ impl StimulusSet {
             pending = next;
         }
 
-        let mut map = HashMap::new();
+        let mut map = BTreeMap::new();
         let mut quarantined = Vec::new();
         let mut runs_retried = 0u64;
         for (i, cond) in cells.iter().enumerate() {

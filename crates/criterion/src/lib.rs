@@ -81,9 +81,7 @@ impl From<&str> for BenchmarkId {
 }
 
 fn target_sample_time() -> Duration {
-    let ms = std::env::var("CRITERION_SAMPLE_MS")
-        .ok()
-        .and_then(|v| v.parse().ok())
+    let ms = pq_obs::env::var_parsed::<u64>("CRITERION_SAMPLE_MS")
         .filter(|&n| n > 0)
         .unwrap_or(300);
     Duration::from_millis(ms)

@@ -95,8 +95,8 @@ pub fn active() -> bool {
 /// warns via the tracer and leaves injection off (configuration is
 /// never silently swallowed). Returns whether a plan is now active.
 pub fn init_from_env() -> bool {
-    match std::env::var("PQ_FAULTS") {
-        Ok(spec) if !spec.trim().is_empty() => match FaultPlan::parse(&spec) {
+    match pq_obs::env::var("PQ_FAULTS") {
+        Some(spec) if !spec.trim().is_empty() => match FaultPlan::parse(&spec) {
             Ok(plan) => {
                 pq_obs::tracer().warn(
                     "fault",

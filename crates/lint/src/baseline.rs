@@ -1,0 +1,153 @@
+//! The grandfathered-findings baseline (`pq-lint.baseline`).
+//!
+//! Format: one `<rule> <path> <count>` triple per line, `#` comments
+//! and blank lines ignored, sorted by `(rule, path)`. The file is
+//! committed at the workspace root and **only ever shrinks**: the
+//! engine fails when a count is exceeded (new debt) *and* when a count
+//! is no longer reached (stale entry — regenerate with
+//! `--write-baseline` to lock in the progress).
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// Parsed baseline: `(rule, path) → grandfathered count`.
+#[derive(Debug, Default, Clone)]
+pub struct Baseline {
+    counts: BTreeMap<(String, String), usize>,
+}
+
+impl Baseline {
+    /// An empty baseline (everything is a new finding).
+    pub fn empty() -> Baseline {
+        Baseline::default()
+    }
+
+    /// Parse the text format. Malformed lines are errors — a typo in
+    /// the ratchet file must not silently weaken the gate.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let mut counts = BTreeMap::new();
+        for (i, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let (Some(rule), Some(path), Some(count), None) =
+                (parts.next(), parts.next(), parts.next(), parts.next())
+            else {
+                return Err(format!(
+                    "baseline line {}: expected `<rule> <path> <count>`, got {line:?}",
+                    i + 1
+                ));
+            };
+            if crate::rules::rule(rule).is_none() {
+                return Err(format!("baseline line {}: unknown rule {rule:?}", i + 1));
+            }
+            let count: usize = count
+                .parse()
+                .map_err(|_| format!("baseline line {}: bad count {count:?}", i + 1))?;
+            if count == 0 {
+                return Err(format!(
+                    "baseline line {}: zero-count entry for {path}; delete the line",
+                    i + 1
+                ));
+            }
+            if counts
+                .insert((rule.to_string(), path.to_string()), count)
+                .is_some()
+            {
+                return Err(format!(
+                    "baseline line {}: duplicate entry {rule} {path}",
+                    i + 1
+                ));
+            }
+        }
+        Ok(Baseline { counts })
+    }
+
+    /// Load from `path`; a missing file is the empty baseline.
+    pub fn load(path: &Path) -> Result<Baseline, String> {
+        match std::fs::read_to_string(path) {
+            Ok(text) => Baseline::parse(&text),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Baseline::empty()),
+            Err(e) => Err(format!("cannot read {}: {e}", path.display())),
+        }
+    }
+
+    /// Grandfathered count for `(rule, path)` (0 when absent).
+    pub fn count(&self, rule: &str, path: &str) -> usize {
+        self.counts
+            .get(&(rule.to_string(), path.to_string()))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// All entries as `(rule, path, count)`.
+    pub fn entries(&self) -> Vec<(String, String, usize)> {
+        self.counts
+            .iter()
+            .map(|((r, p), c)| (r.clone(), p.clone(), *c))
+            .collect()
+    }
+
+    /// Total grandfathered findings (the `lint_baseline_count` the run
+    /// manifest records so re-anchors can watch the debt shrink).
+    pub fn total(&self) -> usize {
+        self.counts.values().sum()
+    }
+
+    /// Render the canonical text form.
+    pub fn render(counts: &BTreeMap<(String, String), usize>) -> String {
+        let mut out = String::from(
+            "# pq-lint baseline — grandfathered findings.\n\
+             # This file only shrinks: new findings fail CI outright, and entries\n\
+             # that no longer match fail too (regenerate with --write-baseline\n\
+             # after paying down debt). Format: <rule> <path> <count>.\n",
+        );
+        for ((rule, path), count) in counts {
+            if *count > 0 {
+                out.push_str(&format!("{rule} {path} {count}\n"));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trip() {
+        let text = "# comment\n\npanic crates/web/src/http1.rs 3\nhash crates/core/src/x.rs 1\n";
+        let b = Baseline::parse(text).expect("parses");
+        assert_eq!(b.count("panic", "crates/web/src/http1.rs"), 3);
+        assert_eq!(b.count("hash", "crates/core/src/x.rs"), 1);
+        assert_eq!(b.count("panic", "crates/web/src/http2.rs"), 0);
+        assert_eq!(b.total(), 4);
+
+        let mut counts = BTreeMap::new();
+        for (r, p, c) in b.entries() {
+            counts.insert((r, p), c);
+        }
+        let rendered = Baseline::render(&counts);
+        let again = Baseline::parse(&rendered).expect("round-trips");
+        assert_eq!(again.total(), 4);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(Baseline::parse("panic only-two-fields").is_err());
+        assert!(Baseline::parse("panic a b c d").is_err());
+        assert!(Baseline::parse("panic crates/x.rs notanumber").is_err());
+        assert!(Baseline::parse("no-such-rule crates/x.rs 1").is_err());
+        assert!(Baseline::parse("panic crates/x.rs 0").is_err());
+        assert!(Baseline::parse("panic crates/x.rs 1\npanic crates/x.rs 2").is_err());
+    }
+
+    #[test]
+    fn missing_file_is_empty() {
+        let b = Baseline::load(Path::new("/definitely/not/here.baseline")).expect("empty");
+        assert_eq!(b.total(), 0);
+    }
+}

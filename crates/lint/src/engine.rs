@@ -1,0 +1,435 @@
+//! The lint engine: workspace walk → lex → rules → suppressions →
+//! baseline comparison.
+//!
+//! ## Suppressions
+//!
+//! A finding is suppressed by a comment on the same line or the line
+//! directly above it:
+//!
+//! ```text
+//! // pq-lint: allow(panic) -- tail index bounded by the loop above
+//! let last = spans[spans.len() - 1];
+//! ```
+//!
+//! The `-- <reason>` is **mandatory**: a reasonless (or unknown-rule)
+//! suppression does not suppress anything and is itself reported under
+//! the `suppression` rule.
+//!
+//! ## Baseline
+//!
+//! `pq-lint.baseline` (workspace root) records grandfathered findings
+//! as `(rule, file, count)` triples. The engine fails when a file's
+//! count for a rule **exceeds** its baselined count (new violation)
+//! and also when it **falls below** it (stale entry: the debt was paid
+//! — shrink the baseline so it can never grow back). Counts rather
+//! than line numbers keep entries stable under unrelated edits while
+//! still enforcing the ratchet.
+
+use crate::baseline::Baseline;
+use crate::lexer::{lex, Comment};
+use crate::rules::{check_file, first_cfg_test_line, rule, FileContext, Finding};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// A finding bound to its file.
+#[derive(Clone, Debug)]
+pub struct FileFinding {
+    /// Workspace-relative path (`/` separators).
+    pub path: String,
+    /// The finding itself.
+    pub finding: Finding,
+}
+
+impl FileFinding {
+    /// `path:line:col: family[rule] message (snippet)` — one line per
+    /// finding, clickable in editors and CI logs.
+    pub fn render(&self) -> String {
+        let fam = rule(self.finding.rule)
+            .map(|r| r.family)
+            .unwrap_or(crate::rules::Family::L);
+        format!(
+            "{}:{}:{}: {:?}[{}] {} [span: {}]",
+            self.path,
+            self.finding.line,
+            self.finding.col,
+            fam,
+            self.finding.rule,
+            self.finding.message,
+            self.finding.snippet
+        )
+    }
+}
+
+/// Outcome of linting a file set against a baseline.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Findings not absorbed by the baseline, i.e. new violations.
+    pub new: Vec<FileFinding>,
+    /// `(rule, path, baselined, found)` for entries whose debt shrank
+    /// or vanished — the baseline must be updated (it only shrinks).
+    pub stale: Vec<(String, String, usize, usize)>,
+    /// Findings absorbed by the baseline (grandfathered).
+    pub grandfathered: usize,
+    /// Suppressed findings (valid inline allows).
+    pub suppressed: usize,
+    /// Files scanned.
+    pub files: usize,
+}
+
+impl Report {
+    /// Gate verdict: clean means no new findings and no stale entries.
+    pub fn clean(&self) -> bool {
+        self.new.is_empty() && self.stale.is_empty()
+    }
+}
+
+/// One parsed suppression directive.
+struct Suppression {
+    rules: Vec<String>,
+    has_reason: bool,
+    line: u32,
+    end_line: u32,
+    col: u32,
+    used: bool,
+}
+
+/// Parse `pq-lint: allow(panic, index) -- reason` directives out of
+/// comments.
+fn parse_suppressions(comments: &[Comment]) -> Vec<Suppression> {
+    let mut out = Vec::new();
+    for c in comments {
+        let Some(at) = c.text.find("pq-lint:") else {
+            continue;
+        };
+        let rest = c.text[at + "pq-lint:".len()..].trim_start();
+        let Some(list) = rest.strip_prefix("allow(") else {
+            // An unparsable directive is itself a lint error.
+            out.push(Suppression {
+                rules: Vec::new(),
+                has_reason: false,
+                line: c.line,
+                end_line: c.end_line,
+                col: c.col,
+                used: false,
+            });
+            continue;
+        };
+        let Some(close) = list.find(')') else {
+            out.push(Suppression {
+                rules: Vec::new(),
+                has_reason: false,
+                line: c.line,
+                end_line: c.end_line,
+                col: c.col,
+                used: false,
+            });
+            continue;
+        };
+        let rules: Vec<String> = list[..close]
+            .split(',')
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .collect();
+        let tail = list[close + 1..].trim_start();
+        let has_reason = tail
+            .strip_prefix("--")
+            .map(|r| !r.trim().is_empty())
+            .unwrap_or(false);
+        out.push(Suppression {
+            rules,
+            has_reason,
+            line: c.line,
+            end_line: c.end_line,
+            col: c.col,
+            used: false,
+        });
+    }
+    out
+}
+
+/// Lint one file's source text. Returns unsuppressed findings plus the
+/// number suppressed.
+pub fn lint_source(rel_path: &str, src: &str) -> (Vec<Finding>, usize) {
+    let (tokens, comments) = lex(src);
+    let ctx = FileContext {
+        rel_path,
+        crate_name: crate_of(rel_path),
+        is_test_file: is_test_path(rel_path),
+        test_from_line: first_cfg_test_line(&tokens),
+        tokens: &tokens,
+        is_crate_root: is_crate_root(rel_path),
+    };
+    let raw = check_file(&ctx);
+    let mut sups = parse_suppressions(&comments);
+    let mut findings = Vec::new();
+    let mut suppressed = 0usize;
+
+    for f in raw {
+        let hit = sups.iter_mut().find(|s| {
+            (f.line == s.line || f.line == s.end_line + 1)
+                && s.has_reason
+                && s.rules.iter().any(|r| r == f.rule || r == "all")
+        });
+        match hit {
+            Some(s) => {
+                s.used = true;
+                suppressed += 1;
+            }
+            None => findings.push(f),
+        }
+    }
+    // Malformed directives: unknown rule names or missing reasons.
+    for s in &sups {
+        let unknown: Vec<&str> = s
+            .rules
+            .iter()
+            .filter(|r| r.as_str() != "all" && rule(r).is_none())
+            .map(String::as_str)
+            .collect();
+        if s.rules.is_empty() {
+            findings.push(Finding {
+                rule: "suppression",
+                line: s.line,
+                col: s.col,
+                snippet: "pq-lint:".into(),
+                message: "malformed suppression; expected \
+                          `// pq-lint: allow(<rule>[, <rule>…]) -- <reason>`"
+                    .into(),
+            });
+        } else if !s.has_reason {
+            findings.push(Finding {
+                rule: "suppression",
+                line: s.line,
+                col: s.col,
+                snippet: format!("allow({})", s.rules.join(", ")),
+                message: "suppression lacks the mandatory `-- <reason>`; say why the \
+                          invariant holds"
+                    .into(),
+            });
+        } else if !unknown.is_empty() {
+            findings.push(Finding {
+                rule: "suppression",
+                line: s.line,
+                col: s.col,
+                snippet: format!("allow({})", unknown.join(", ")),
+                message: format!(
+                    "unknown rule name(s) {}; see --rules for the registry",
+                    unknown.join(", ")
+                ),
+            });
+        }
+    }
+    findings.sort_by(|a, b| (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule)));
+    (findings, suppressed)
+}
+
+/// `crates/<name>/…` → `Some(name)`.
+fn crate_of(rel: &str) -> Option<&str> {
+    rel.strip_prefix("crates/")?.split('/').next()
+}
+
+/// Whole-file test/bench/example context, by path.
+fn is_test_path(rel: &str) -> bool {
+    let file = rel.rsplit('/').next().unwrap_or(rel);
+    rel.contains("/tests/")
+        || rel.starts_with("tests/")
+        || rel.contains("/benches/")
+        || rel.starts_with("benches/")
+        || rel.contains("/examples/")
+        || rel.starts_with("examples/")
+        || file.ends_with("_tests.rs")
+        || file == "testutil.rs"
+}
+
+/// Crate roots where `#![forbid(unsafe_code)]` is required.
+fn is_crate_root(rel: &str) -> bool {
+    rel.ends_with("src/lib.rs") || rel.ends_with("src/main.rs") || {
+        // Binary roots: crates/<c>/src/bin/<b>.rs
+        rel.contains("/src/bin/") && rel.ends_with(".rs")
+    }
+}
+
+/// Collect the workspace's `.rs` files under `root`, sorted, as
+/// workspace-relative `/`-separated paths.
+pub fn workspace_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    walk(root, root, &mut out)?;
+    out.sort();
+    Ok(out)
+}
+
+fn walk(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        let name = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or_default()
+            .to_string();
+        if path.is_dir() {
+            // Build artefacts, VCS metadata, committed results and the
+            // lint fixture corpus (deliberately violation-laden) are
+            // not workspace source.
+            if matches!(name.as_str(), "target" | ".git" | ".github" | "results") {
+                continue;
+            }
+            let rel = rel_str(root, &path);
+            if rel == "crates/lint/tests/fixtures" {
+                continue;
+            }
+            walk(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Workspace-relative path with forward slashes.
+pub fn rel_str(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+/// Lint the whole workspace under `root` against `baseline`.
+pub fn run(root: &Path, baseline: &Baseline) -> std::io::Result<Report> {
+    let files = workspace_files(root)?;
+    let mut report = Report {
+        files: files.len(),
+        ..Report::default()
+    };
+    // (rule, path) → findings, for baseline accounting.
+    let mut by_key: BTreeMap<(String, String), Vec<FileFinding>> = BTreeMap::new();
+    for path in &files {
+        let rel = rel_str(root, path);
+        let src = std::fs::read_to_string(path)?;
+        let (findings, suppressed) = lint_source(&rel, &src);
+        report.suppressed += suppressed;
+        for f in findings {
+            by_key
+                .entry((f.rule.to_string(), rel.clone()))
+                .or_default()
+                .push(FileFinding {
+                    path: rel.clone(),
+                    finding: f,
+                });
+        }
+    }
+    // Compare against the baseline in both directions.
+    for ((rule_name, path), found) in &by_key {
+        let allowed = baseline.count(rule_name, path);
+        match found.len().cmp(&allowed) {
+            std::cmp::Ordering::Greater => {
+                report.grandfathered += allowed;
+                report.new.extend(found.iter().cloned());
+            }
+            std::cmp::Ordering::Equal => report.grandfathered += allowed,
+            std::cmp::Ordering::Less => {
+                report.grandfathered += found.len();
+                report
+                    .stale
+                    .push((rule_name.clone(), path.clone(), allowed, found.len()));
+            }
+        }
+    }
+    // Baseline entries whose file no longer has any finding at all
+    // (or no longer exists) are stale too.
+    for (rule_name, path, allowed) in baseline.entries() {
+        if allowed > 0 && !by_key.contains_key(&(rule_name.clone(), path.clone())) {
+            report.stale.push((rule_name, path, allowed, 0));
+        }
+    }
+    report.stale.sort();
+    Ok(report)
+}
+
+/// Current (rule, path) → count map for `--write-baseline`.
+pub fn current_counts(root: &Path) -> std::io::Result<BTreeMap<(String, String), usize>> {
+    let files = workspace_files(root)?;
+    let mut counts = BTreeMap::new();
+    for path in &files {
+        let rel = rel_str(root, path);
+        let src = std::fs::read_to_string(path)?;
+        let (findings, _) = lint_source(&rel, &src);
+        for f in findings {
+            *counts.entry((f.rule.to_string(), rel.clone())).or_insert(0) += 1;
+        }
+    }
+    Ok(counts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suppression_same_line_and_line_above() {
+        let src = "\
+fn f(x: Option<u32>) -> u32 {
+    // pq-lint: allow(panic) -- x checked by caller
+    let a = x.unwrap();
+    let b = x.unwrap(); // pq-lint: allow(panic) -- ditto
+    a + b
+}
+";
+        let (findings, suppressed) = lint_source("crates/core/src/x.rs", src);
+        assert_eq!(suppressed, 2);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn reason_is_mandatory() {
+        let src = "\
+fn f(x: Option<u32>) -> u32 {
+    // pq-lint: allow(panic)
+    x.unwrap()
+}
+";
+        let (findings, suppressed) = lint_source("crates/core/src/x.rs", src);
+        assert_eq!(suppressed, 0);
+        let rules: Vec<&str> = findings.iter().map(|f| f.rule).collect();
+        assert!(rules.contains(&"panic"), "finding not suppressed");
+        assert!(rules.contains(&"suppression"), "directive itself flagged");
+    }
+
+    #[test]
+    fn unknown_rule_names_are_flagged() {
+        let src = "// pq-lint: allow(made-up) -- why\nfn f() {}\n";
+        let (findings, _) = lint_source("crates/core/src/x.rs", src);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, "suppression");
+    }
+
+    #[test]
+    fn multi_rule_allow() {
+        let src = "\
+fn f(v: &[u32]) -> u32 {
+    // pq-lint: allow(panic, index) -- v non-empty by contract
+    v[0] + v.first().unwrap()
+}
+";
+        let (findings, suppressed) = lint_source("crates/core/src/x.rs", src);
+        assert_eq!(suppressed, 2);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn crate_and_test_classification() {
+        assert_eq!(crate_of("crates/sim/src/link.rs"), Some("sim"));
+        assert_eq!(crate_of("src/lib.rs"), None);
+        assert!(is_test_path("crates/sim/tests/proptests.rs"));
+        assert!(is_test_path("tests/end_to_end.rs"));
+        assert!(is_test_path("examples/quickstart.rs"));
+        assert!(is_test_path("crates/web/src/browser_tests.rs"));
+        assert!(is_test_path("crates/transport/src/testutil.rs"));
+        assert!(!is_test_path("crates/web/src/browser.rs"));
+        assert!(is_crate_root("crates/bench/src/bin/runall.rs"));
+        assert!(is_crate_root("src/lib.rs"));
+        assert!(!is_crate_root("crates/web/src/browser.rs"));
+    }
+}

@@ -1,0 +1,41 @@
+//! # pq-lint — the workspace invariant checker
+//!
+//! The pipeline's central correctness property — study digests
+//! bit-identical across `PQ_JOBS` worker counts and fault seeds — is a
+//! *code* property: no randomized-iteration containers, no wall-clock
+//! reads, no ad-hoc RNG keying in the layers that feed the digest.
+//! Until this crate, that property rested on convention. `pq-lint`
+//! turns it into a mechanical gate, the same way the paper's
+//! conformance filter (Table 3, R1–R7) turns "valid study data" from a
+//! judgement call into a rule table.
+//!
+//! The checker tokenizes every workspace `.rs` file with a small
+//! hand-rolled lexer ([`lexer`] — comments, strings, idents, no full
+//! parse) and runs a registry of project-invariant rules ([`rules`])
+//! in three families:
+//!
+//! | family | rules | invariant |
+//! |--------|-------|-----------|
+//! | **D** (determinism) | `hash`, `time`, `rng`, `float-sum` | digest-affecting code is a pure function of `(seed, cell coordinates)` |
+//! | **P** (panic-safety) | `panic`, `index`, `unsafe` | hot paths degrade through `PqError`, never abort the grid |
+//! | **O** (observability) | `env`, `metric-name` | config flows through `pq_obs::env`; metric names stay `crate.noun_verb` |
+//!
+//! Findings are reported as `file:line:col` with the offending span.
+//! Inline suppression is `// pq-lint: allow(panic) -- reason` with a
+//! **mandatory** reason; the committed `pq-lint.baseline` holds
+//! grandfathered findings so `cargo run -p pq-lint -- --deny` gates CI
+//! from day one — new violations fail, and the baseline can only ever
+//! shrink (a stale entry is itself an error). See [`engine`] and
+//! [`baseline`] for the exact semantics.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod engine;
+pub mod lexer;
+pub mod rules;
+
+pub use baseline::Baseline;
+pub use engine::{lint_source, run, workspace_files, Report};
+pub use rules::{Family, Finding, RuleInfo, RULES};

@@ -1,0 +1,6 @@
+//! Fixture: two index findings absorbed by the committed fixture
+//! baseline (`index crates/core/src/grandfathered.rs 2`).
+
+pub fn pick(v: &[u32], i: usize, j: usize) -> u32 {
+    v[i] + v[j]
+}

@@ -1,0 +1,10 @@
+//! Fixture: the same violation shapes, every one validly suppressed
+//! (so the engine reports zero findings and three suppressions).
+
+pub fn f(v: &[f64]) -> f64 {
+    // pq-lint: allow(rng) -- fixture derivation point
+    let rng = SimRng::new(7);
+    // pq-lint: allow(index, panic) -- fixture: v is non-empty by contract
+    let a = v[0] + v.get(1).unwrap();
+    a + rng.next_f64()
+}

@@ -1,0 +1,10 @@
+//! Fixture: raw env reads (import + call) and a bad metric name in a
+//! non-digest crate — the O-family rules apply everywhere.
+
+use std::env;
+
+pub fn jobs() -> usize {
+    let raw = std::env::var("PQ_JOBS").unwrap_or_default();
+    reg.counter_add("Jobs", 1);
+    raw.len()
+}

@@ -1,0 +1,30 @@
+//! The self-test: the workspace must lint clean modulo its committed
+//! baseline. This is the same verdict `cargo run -p pq-lint -- --deny`
+//! gates CI on, so a violation fails `cargo test` too — you cannot
+//! merge code that the gate would reject.
+
+use pq_lint::{engine, Baseline};
+use std::path::Path;
+
+#[test]
+fn workspace_is_clean_modulo_baseline() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let baseline = Baseline::load(&root.join("pq-lint.baseline")).expect("baseline parses");
+    let report = engine::run(&root, &baseline).expect("workspace walk");
+    assert!(
+        report.files > 50,
+        "walk found too few files: {}",
+        report.files
+    );
+    let rendered: Vec<String> = report.new.iter().map(|f| f.render()).collect();
+    assert!(
+        report.clean(),
+        "pq-lint is not clean: {} new finding(s), {} stale entr(ies)\n{}\nstale: {:?}\n\
+         fix the findings, add a justified suppression, or (for stale entries) run \
+         `cargo run -p pq-lint -- --write-baseline`",
+        report.new.len(),
+        report.stale.len(),
+        rendered.join("\n"),
+        report.stale,
+    );
+}

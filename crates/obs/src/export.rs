@@ -172,7 +172,7 @@ pub fn flush_to_env() -> Option<std::path::PathBuf> {
     if !crate::trace::enabled(crate::trace::Level::Error) {
         return None;
     }
-    let path = std::path::PathBuf::from(std::env::var_os("PQ_TRACE_OUT")?);
+    let path = std::path::PathBuf::from(crate::env::var_os("PQ_TRACE_OUT")?);
     let (_, recorded, dropped) = tracer().stats();
     match export(&path) {
         Ok(n) => {

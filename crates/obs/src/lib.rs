@@ -25,6 +25,11 @@
 //!   has no network access, so `serde` is not available; this module
 //!   fills the gap with ~300 auditable lines).
 //! * [`timing`] — wall-clock phase timers for the experiment harness.
+//! * [`env`] — the central environment-variable funnel: every `PQ_*`
+//!   knob in the workspace reads through [`env::var`] /
+//!   [`env::var_parsed`] (unparsable values warn via the tracer), and
+//!   `pq-lint`'s `env` rule rejects raw `std::env::var` calls
+//!   anywhere else.
 //!
 //! ## Environment knobs
 //!
@@ -45,6 +50,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod env;
 pub mod export;
 pub mod json;
 pub mod metrics;

@@ -233,9 +233,9 @@ pub fn enabled(level: Level) -> bool {
 /// silently swallowed. Returns the effective level.
 pub fn init_from_env() -> Level {
     let t = tracer();
-    let level = match std::env::var("PQ_TRACE") {
-        Err(_) => Level::Off,
-        Ok(raw) => match Level::parse(&raw) {
+    let level = match crate::env::var("PQ_TRACE") {
+        None => Level::Off,
+        Some(raw) => match Level::parse(&raw) {
             Some(l) => l,
             None => {
                 eprintln!(
@@ -245,7 +245,7 @@ pub fn init_from_env() -> Level {
             }
         },
     };
-    if let Ok(raw) = std::env::var("PQ_TRACE_BUF") {
+    if let Some(raw) = crate::env::var("PQ_TRACE_BUF") {
         match raw.parse::<usize>() {
             Ok(cap) if cap > 0 => {
                 let mut inner = t.inner.lock().expect("tracer poisoned");

@@ -86,8 +86,8 @@ pub fn jobs() -> usize {
     if forced > 0 {
         return forced;
     }
-    match std::env::var("PQ_JOBS") {
-        Ok(raw) => match raw.parse::<usize>() {
+    match pq_obs::env::var("PQ_JOBS") {
+        Some(raw) => match raw.parse::<usize>() {
             Ok(n) if n >= 1 => n,
             _ => {
                 let fallback = available_jobs();
@@ -103,7 +103,7 @@ pub fn jobs() -> usize {
                 fallback
             }
         },
-        Err(_) => available_jobs(),
+        None => available_jobs(),
     }
 }
 

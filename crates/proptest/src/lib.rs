@@ -28,9 +28,7 @@ use std::ops::Range;
 
 /// Number of cases each property runs (`PROPTEST_CASES`, default 64).
 pub fn cases() -> u64 {
-    std::env::var("PROPTEST_CASES")
-        .ok()
-        .and_then(|v| v.parse().ok())
+    pq_obs::env::var_parsed::<u64>("PROPTEST_CASES")
         .filter(|&n| n > 0)
         .unwrap_or(64)
 }

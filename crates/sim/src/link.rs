@@ -257,6 +257,7 @@ impl<P> Link<P> {
         let pkt = self
             .in_flight
             .take()
+            // pq-lint: allow(panic) -- in_flight is set by the StartedTx that scheduled this callback; the event queue fires exactly one tx-done per started tx
             .expect("tx-done callback with no packet in flight");
         self.stats.busy_time += now - self.tx_started_at;
 

@@ -434,7 +434,7 @@ mod tests {
             delivered += 10 * MSS;
         }
         assert_eq!(b.state_name(), "ProbeBW");
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for _ in 0..40 {
             now += 60; // > min_rtt, so the cycle advances
             b.on_ack(&ack_with_rate(now, 10 * MSS, 50, bw, delivered, 0));

@@ -117,7 +117,9 @@ impl CongestionControl for Cubic {
         if self.epoch_start.is_none() {
             self.begin_epoch(now);
         }
-        let epoch_start = self.epoch_start.unwrap();
+        // `begin_epoch(now)` above guarantees `Some`; the fallback is
+        // the same value it would have stored.
+        let epoch_start = self.epoch_start.unwrap_or(now);
         let t = now.saturating_since(epoch_start).as_secs_f64();
         let rtt = ack
             .srtt

@@ -299,32 +299,37 @@ impl QuicEndpoint {
                         part: *part,
                         of: *of,
                     }),
+                    // pq-lint: allow(panic) -- hs_queue only ever holds Chlo/Shlo; stream data goes through send_streams
                     SentFrame::Stream { .. } => unreachable!(),
                 }
                 sent_frames.push(f);
             } else if let Some((id, offset, len, fin, is_retx)) = chunk {
-                let s = self.send_streams.get_mut(&id).expect("stream exists");
-                if is_retx {
-                    s.lost.remove(offset, offset + u64::from(len));
-                    self.retransmits += 1;
-                    out.push(Output::Trace(TraceKind::Retransmit, id));
-                    crate::obs::instant(
-                        self.obs,
-                        pq_obs::Level::Info,
-                        now,
-                        || format!("retransmit {}", self.dir_label()),
-                        || vec![("stream", pq_obs::ArgValue::U64(id))],
-                    );
-                } else {
-                    s.next_offset = offset + u64::from(len);
+                // A chunk always references a live send stream; if the
+                // map ever disagrees, drop the frame (the next poll
+                // re-derives the chunk) instead of aborting the cell.
+                if let Some(s) = self.send_streams.get_mut(&id) {
+                    if is_retx {
+                        s.lost.remove(offset, offset + u64::from(len));
+                        self.retransmits += 1;
+                        out.push(Output::Trace(TraceKind::Retransmit, id));
+                        crate::obs::instant(
+                            self.obs,
+                            pq_obs::Level::Info,
+                            now,
+                            || format!("retransmit {}", self.dir_label()),
+                            || vec![("stream", pq_obs::ArgValue::U64(id))],
+                        );
+                    } else {
+                        s.next_offset = offset + u64::from(len);
+                    }
+                    frames.push(QuicFrame::Stream {
+                        id,
+                        offset,
+                        len,
+                        fin,
+                    });
+                    sent_frames.push(SentFrame::Stream { id, offset, len });
                 }
-                frames.push(QuicFrame::Stream {
-                    id,
-                    offset,
-                    len,
-                    fin,
-                });
-                sent_frames.push(SentFrame::Stream { id, offset, len });
             }
 
             let pn = self.next_pn;
@@ -405,7 +410,9 @@ impl QuicEndpoint {
         for r in ranges {
             let pns: Vec<u64> = self.sent.range(r.start..r.end).map(|(p, _)| *p).collect();
             for pn in pns {
-                let sp = self.sent.remove(&pn).expect("pn present");
+                let Some(sp) = self.sent.remove(&pn) else {
+                    continue; // pn was collected from `sent` just above
+                };
                 if sp.ack_eliciting {
                     self.bytes_in_flight = self.bytes_in_flight.saturating_sub(u64::from(sp.size));
                     newly_acked_bytes += u64::from(sp.size);
@@ -454,7 +461,9 @@ impl QuicEndpoint {
         }
         let mut max_lost_eliciting: Option<u64> = None;
         for pn in &lost_pns {
-            let sp = self.sent.remove(pn).expect("lost pn present");
+            let Some(sp) = self.sent.remove(pn) else {
+                continue; // lost pns were collected from `sent` above
+            };
             if sp.ack_eliciting {
                 // Only real data losses are congestion signals; a
                 // "lost" pure-ACK packet carries nothing.
@@ -536,7 +545,9 @@ impl QuicEndpoint {
         // Declare everything outstanding lost.
         let pns: Vec<u64> = self.sent.keys().copied().collect();
         for pn in pns {
-            let sp = self.sent.remove(&pn).unwrap();
+            let Some(sp) = self.sent.remove(&pn) else {
+                continue; // pns snapshot taken from `sent` just above
+            };
             if sp.ack_eliciting {
                 self.bytes_in_flight = self.bytes_in_flight.saturating_sub(u64::from(sp.size));
             }

@@ -305,7 +305,9 @@ impl TcpSender {
                 } else {
                     // Partial coverage (a retransmission chunk spanned
                     // the ACK point): shrink the segment.
-                    let mut seg = self.inflight.remove(&start).unwrap();
+                    let Some(mut seg) = self.inflight.remove(&start) else {
+                        continue; // start came from the range scan above
+                    };
                     self.bytes_in_flight = self.bytes_in_flight.saturating_sub(cum - start);
                     self.track_delivered(seg.sent_at, start);
                     let sample = self.rate.on_ack(now, cum - start, seg.tx);
@@ -337,7 +339,9 @@ impl TcpSender {
                     .map(|(s, _)| *s)
                     .collect();
                 for start in covered {
-                    let seg = self.inflight.remove(&start).unwrap();
+                    let Some(seg) = self.inflight.remove(&start) else {
+                        continue; // covered starts came from `inflight`
+                    };
                     self.bytes_in_flight = self.bytes_in_flight.saturating_sub(seg.end - start);
                     if !seg.retx {
                         rtt_sample = Some(now - seg.sent_at);

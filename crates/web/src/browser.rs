@@ -20,7 +20,7 @@ use pq_sim::{
     SimTime, Trace, TraceKind,
 };
 use pq_transport::{Connection, Output, Protocol, Wire};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Trace-track layout of one page load (one tracer `pid` per load):
 /// `tid 0` carries the page-level markers (FVC/LVC/PLT, queue depth,
@@ -156,9 +156,9 @@ struct Loader<'a> {
     up: Link<Wire>,
     down: Link<Wire>,
     conns: Vec<ConnState>,
-    origin_conn: HashMap<u16, u32>,
+    origin_conn: BTreeMap<u16, u32>,
     /// HTTP/1.1 connection pools per origin (empty under H2/H3).
-    h1_pools: HashMap<u16, H1Pool>,
+    h1_pools: BTreeMap<u16, H1Pool>,
     cfg: pq_transport::StackConfig,
     think_rng: SimRng,
     /// Children of each object, sorted by discovery fraction.
@@ -239,6 +239,7 @@ pub fn load_page_with_config(
     opts: &LoadOptions,
 ) -> PageLoadResult {
     let protocol = cfg.protocol;
+    // pq-lint: allow(rng) -- load-entry derivation point: `seed` is the per-cell run_seed; every sub-stream forks from it
     let rng = SimRng::new(seed);
     let n = site.objects.len();
 
@@ -313,8 +314,8 @@ pub fn load_page_with_config(
         up,
         down,
         conns: Vec::new(),
-        origin_conn: HashMap::new(),
-        h1_pools: HashMap::new(),
+        origin_conn: BTreeMap::new(),
+        h1_pools: BTreeMap::new(),
         cfg: cfg.clone(),
         think_rng: rng.fork("server-think"),
         children,
@@ -397,15 +398,18 @@ impl<'a> Loader<'a> {
         self.obs_request(now, id);
         let state = &mut self.conns[ci as usize];
         match &mut state.mux {
+            // pq-lint: allow(panic) -- H1 requests take the pool path above; mux/transport pairing is fixed at open_conn
             Mux::H1(_) => unreachable!("pool handled above"),
             Mux::H2(m) => {
                 let Connection::Tcp(c) = &mut state.conn else {
+                    // pq-lint: allow(panic) -- open_conn pairs Mux::H2 with Connection::Tcp, always
                     unreachable!("H2 over TCP")
                 };
                 m.request(c, now, id);
             }
             Mux::H3(m) => {
                 let Connection::Quic(c) = &mut state.conn else {
+                    // pq-lint: allow(panic) -- open_conn pairs Mux::H3 with Connection::Quic, always
                     unreachable!("H3 over QUIC")
                 };
                 m.request(c, now, id);
@@ -491,9 +495,11 @@ impl<'a> Loader<'a> {
         self.obs_request(now, id);
         let state = &mut self.conns[ci as usize];
         let Mux::H1(h) = &mut state.mux else {
+            // pq-lint: allow(panic) -- pool connections are opened as Mux::H1 in this very function
             unreachable!()
         };
         let Connection::Tcp(c) = &mut state.conn else {
+            // pq-lint: allow(panic) -- open_conn pairs Mux::H1 with Connection::Tcp, always
             unreachable!("H1 over TCP")
         };
         h.request(c, now, id);
@@ -927,18 +933,21 @@ impl<'a> Loader<'a> {
                     match &mut state.mux {
                         Mux::H1(h) => {
                             let Connection::Tcp(c) = &mut state.conn else {
+                                // pq-lint: allow(panic) -- open_conn pairs Mux::H1 with Connection::Tcp, always
                                 unreachable!()
                             };
                             h.respond(c, now, body);
                         }
                         Mux::H2(m) => {
                             let Connection::Tcp(c) = &mut state.conn else {
+                                // pq-lint: allow(panic) -- open_conn pairs Mux::H2 with Connection::Tcp, always
                                 unreachable!()
                             };
                             m.respond(c, now, obj, body);
                         }
                         Mux::H3(m) => {
                             let Connection::Quic(c) = &mut state.conn else {
+                                // pq-lint: allow(panic) -- open_conn pairs Mux::H3 with Connection::Quic, always
                                 unreachable!()
                             };
                             m.respond(c, now, obj, body);

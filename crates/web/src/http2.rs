@@ -112,8 +112,10 @@ impl H2Mux {
     /// Commit response bytes to the transport while it is hungry,
     /// interleaving ready responses in frame-sized chunks.
     pub fn pump(&mut self, conn: &mut TcpConnection, now: SimTime) {
-        while !self.ready.is_empty() && conn.server_backlog() < BACKLOG_TARGET {
-            let mut r = self.ready.pop_front().expect("non-empty");
+        while conn.server_backlog() < BACKLOG_TARGET {
+            let Some(mut r) = self.ready.pop_front() else {
+                break;
+            };
             let chunk = r.remaining.min(FRAME_CHUNK + FRAME_OVERHEAD);
             r.remaining -= chunk;
             self.committed += chunk;

@@ -8,7 +8,7 @@
 use crate::object::ObjectId;
 use pq_sim::SimTime;
 use pq_transport::{QuicConnection, StreamId};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Request header bytes per request (matching the HTTP/2 number so the
 /// comparison is eye-level).
@@ -20,10 +20,10 @@ pub const RESPONSE_HEADER: u64 = 200;
 #[derive(Debug, Default)]
 pub struct H3Map {
     next_stream: u64,
-    by_stream: HashMap<u64, ObjectId>,
-    by_object: HashMap<ObjectId, u64>,
+    by_stream: BTreeMap<u64, ObjectId>,
+    by_object: BTreeMap<ObjectId, u64>,
     /// Response body size per stream (set when the server responds).
-    body: HashMap<u64, u64>,
+    body: BTreeMap<u64, u64>,
 }
 
 /// Client-side progress of one object's response.
@@ -70,7 +70,13 @@ impl H3Map {
         object: ObjectId,
         body: u64,
     ) {
-        let sid = *self.by_object.get(&object).expect("object has a stream");
+        // `respond` is only called for objects whose request stream was
+        // opened; if the map ever disagrees, drop the response (the
+        // load ends incomplete at the horizon) rather than aborting
+        // the whole grid cell.
+        let Some(&sid) = self.by_object.get(&object) else {
+            return;
+        };
         self.body.insert(sid, body);
         conn.server_write(now, StreamId(sid), RESPONSE_HEADER + body, true);
     }
