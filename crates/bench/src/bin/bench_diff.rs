@@ -1,0 +1,78 @@
+//! `pq-bench-diff` — compare a current `BENCH_obs.json` against a
+//! committed baseline and exit nonzero on a perf regression.
+//!
+//! ```sh
+//! pq-bench-diff [--baseline results/BENCH_obs.json] --current new.json \
+//!               [--tolerance 0.25]
+//! ```
+//!
+//! Tolerance defaults to `PQ_BENCH_TOLERANCE` (then `0.25`). Exit
+//! codes: `0` within tolerance, `1` regression detected, `2` usage or
+//! IO error. CI runs this as a soft-fail report; locally it answers
+//! "did my change move the needle" in one command.
+
+#![forbid(unsafe_code)]
+
+use pq_bench::trajectory::diff_bench;
+use pq_obs::json::Value;
+
+fn load(path: &str) -> Result<Value, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    Value::parse(&text).map_err(|e| format!("{path} is not valid JSON: {e}"))
+}
+
+fn main() {
+    pq_obs::init_from_env();
+    let mut baseline = "results/BENCH_obs.json".to_string();
+    let mut current = None;
+    let mut tolerance = pq_obs::env::var_parsed::<f64>("PQ_BENCH_TOLERANCE").unwrap_or(0.25);
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut take = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        let parsed = match arg.as_str() {
+            "--baseline" => take("--baseline").map(|v| baseline = v),
+            "--current" => take("--current").map(|v| current = Some(v)),
+            "--tolerance" => take("--tolerance").and_then(|v| {
+                v.parse::<f64>()
+                    .map(|t| tolerance = t)
+                    .map_err(|_| format!("unparsable --tolerance {v:?}"))
+            }),
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: pq-bench-diff [--baseline <json>] --current <json> [--tolerance <frac>]"
+                );
+                std::process::exit(0);
+            }
+            other => Err(format!("unknown argument {other:?}")),
+        };
+        if let Err(e) = parsed {
+            eprintln!("[pq-bench-diff] error: {e}");
+            std::process::exit(2);
+        }
+    }
+    let Some(current) = current else {
+        eprintln!("[pq-bench-diff] error: --current <json> is required");
+        std::process::exit(2);
+    };
+
+    let run = (|| -> Result<bool, String> {
+        let base_doc = load(&baseline)?;
+        let cur_doc = load(&current)?;
+        let report = diff_bench(&base_doc, &cur_doc, tolerance)?;
+        eprintln!("[pq-bench-diff] {baseline} (baseline) vs {current} (current)");
+        print!("{}", report.render());
+        Ok(report.regressed())
+    })();
+    match run {
+        Ok(false) => std::process::exit(0),
+        Ok(true) => std::process::exit(1),
+        Err(e) => {
+            eprintln!("[pq-bench-diff] error: {e}");
+            std::process::exit(2);
+        }
+    }
+}

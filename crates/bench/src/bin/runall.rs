@@ -1,12 +1,15 @@
 //! Runs every table and figure regenerator in paper order, sharing a
 //! single experiment execution, then writes the machine-readable run
-//! manifest (`results/manifest.json`) and the phase-timing regression
-//! baseline (`results/BENCH_obs.json`).
+//! manifest (`results/manifest.json`), the phase-timing regression
+//! baseline (`results/BENCH_obs.json`), and one schema-versioned
+//! entry in the append-only perf trajectory
+//! (`results/BENCH_history.jsonl`).
 
 #![forbid(unsafe_code)]
 
 use pq_bench::manifest::{bench_obs_json, write_json, Manifest};
 use pq_bench::report;
+use pq_bench::trajectory::{append_history, history_entry};
 
 fn main() {
     pq_obs::init_from_env();
@@ -31,6 +34,20 @@ fn main() {
     match write_json("results/BENCH_obs.json", &bench) {
         Ok(()) => eprintln!("[runall] wrote results/BENCH_obs.json"),
         Err(err) => eprintln!("[runall] failed to write BENCH_obs.json: {err}"),
+    }
+    match append_history(
+        "results/BENCH_history.jsonl",
+        &history_entry(&manifest, &bench),
+    ) {
+        Ok(()) => eprintln!("[runall] appended results/BENCH_history.jsonl"),
+        Err(err) => eprintln!("[runall] failed to append BENCH_history.jsonl: {err}"),
+    }
+    pq_obs::profile::export_metrics();
+    if let Some(summary) = pq_obs::profile::alloc_summary() {
+        eprintln!("[runall] {summary}");
+    }
+    if let Some(path) = pq_obs::profile::flush_to_env() {
+        eprintln!("[runall] wrote {}", path.display());
     }
     pq_obs::flush_to_env();
 }

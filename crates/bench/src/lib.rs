@@ -77,6 +77,7 @@
 
 pub mod manifest;
 pub mod report;
+pub mod trajectory;
 
 use pq_sim::NetworkKind;
 use pq_study::{run_study, StimulusSet, StudyData};

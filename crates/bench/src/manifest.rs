@@ -130,6 +130,31 @@ pub struct QuarantineEntry {
     pub attempts: u32,
 }
 
+/// Heap traffic attributed to one harness phase (from the `pq-prof`
+/// counting allocator).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AllocPhase {
+    /// Phase name (matches an entry of `phase_secs`, or `(untimed)`).
+    pub phase: String,
+    /// Allocations made while the phase was current.
+    pub allocs: u64,
+    /// Bytes requested while the phase was current.
+    pub bytes: u64,
+}
+
+/// The allocation report of a run profiled with `PQ_PROF_ALLOC=1`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AllocReport {
+    /// Total allocations counted.
+    pub total_allocs: u64,
+    /// Total bytes requested.
+    pub total_bytes: u64,
+    /// High-water mark of live heap bytes (RSS estimate).
+    pub peak_bytes: u64,
+    /// Per-phase attribution.
+    pub phases: Vec<AllocPhase>,
+}
+
 /// Everything a `runall` execution leaves behind for machines.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Manifest {
@@ -176,6 +201,9 @@ pub struct Manifest {
     /// at run time. The baseline only shrinks, so re-anchors can watch
     /// the static-analysis debt pay down across recorded runs.
     pub lint_baseline_count: u64,
+    /// Allocation attribution from the `pq-prof` counting allocator;
+    /// `None` when the run executed without `PQ_PROF_ALLOC=1`.
+    pub alloc: Option<AllocReport>,
 }
 
 impl Manifest {
@@ -254,11 +282,48 @@ impl Manifest {
             lint_baseline_count: pq_lint::Baseline::load(std::path::Path::new("pq-lint.baseline"))
                 .map(|b| b.total() as u64)
                 .unwrap_or(0),
+            alloc: if pq_prof::alloc_enabled() {
+                let snap = pq_prof::alloc_snapshot();
+                Some(AllocReport {
+                    total_allocs: snap.total_allocs,
+                    total_bytes: snap.total_bytes,
+                    peak_bytes: snap.peak_bytes,
+                    phases: snap
+                        .phases
+                        .iter()
+                        .map(|p| AllocPhase {
+                            phase: p.phase.clone(),
+                            allocs: p.allocs,
+                            bytes: p.bytes,
+                        })
+                        .collect(),
+                })
+            } else {
+                None
+            },
         }
     }
 
     /// Encode as JSON.
     pub fn to_json(&self) -> Value {
+        let alloc_json = |a: &AllocReport| {
+            Value::obj()
+                .with("total_allocs", a.total_allocs)
+                .with("total_bytes", a.total_bytes)
+                .with("peak_bytes", a.peak_bytes)
+                .with(
+                    "phases",
+                    a.phases
+                        .iter()
+                        .map(|p| {
+                            Value::obj()
+                                .with("phase", p.phase.as_str())
+                                .with("allocs", p.allocs)
+                                .with("bytes", p.bytes)
+                        })
+                        .collect::<Vec<_>>(),
+                )
+        };
         let funnels = |fs: &[FunnelCounts]| -> Vec<Value> {
             fs.iter()
                 .map(|f| {
@@ -275,7 +340,7 @@ impl Manifest {
                 })
                 .collect()
         };
-        Value::obj()
+        let mut out = Value::obj()
             .with("scale", self.scale.as_str())
             .with("seed", self.seed)
             .with("jobs", self.jobs)
@@ -326,7 +391,11 @@ impl Manifest {
                     })
                     .collect::<Vec<_>>(),
             )
-            .with("lint_baseline_count", self.lint_baseline_count)
+            .with("lint_baseline_count", self.lint_baseline_count);
+        if let Some(a) = &self.alloc {
+            out.set("alloc", alloc_json(a));
+        }
+        out
     }
 
     /// Decode from JSON (inverse of [`Manifest::to_json`]); `None` on
@@ -406,6 +475,26 @@ impl Manifest {
                 })
                 .collect::<Option<Vec<_>>>()?,
             lint_baseline_count: v.get("lint_baseline_count")?.as_u64()?,
+            alloc: match v.get("alloc") {
+                None => None,
+                Some(a) => Some(AllocReport {
+                    total_allocs: a.get("total_allocs")?.as_u64()?,
+                    total_bytes: a.get("total_bytes")?.as_u64()?,
+                    peak_bytes: a.get("peak_bytes")?.as_u64()?,
+                    phases: a
+                        .get("phases")?
+                        .as_arr()?
+                        .iter()
+                        .map(|p| {
+                            Some(AllocPhase {
+                                phase: p.get("phase")?.as_str()?.to_string(),
+                                allocs: p.get("allocs")?.as_u64()?,
+                                bytes: p.get("bytes")?.as_u64()?,
+                            })
+                        })
+                        .collect::<Option<Vec<_>>>()?,
+                }),
+            },
         })
     }
 
@@ -457,6 +546,25 @@ pub fn bench_obs_json(timer: &PhaseTimer, scale: &str, seed: u64) -> Value {
         Some(MetricSnapshot::Counter(v)) => v,
         _ => 0,
     };
+    // Per-worker balance: scan the registry for the labelled
+    // `par.worker_tasks{worker="N"}` counters the pool flushes, pair
+    // each with its steal counter, and sort by worker id so scheduler
+    // skew is visible in the baseline (not just the totals).
+    let mut workers: Vec<(u64, u64, u64)> = reg
+        .snapshot()
+        .keys()
+        .filter_map(|name| {
+            let id: u64 = name
+                .strip_prefix("par.worker_tasks{worker=\"")?
+                .strip_suffix("\"}")?
+                .parse()
+                .ok()?;
+            let tasks = reg.counter_value(name);
+            let steals = reg.counter_value(&format!("par.worker_steals{{worker=\"{id}\"}}"));
+            Some((id, tasks, steals))
+        })
+        .collect();
+    workers.sort_unstable();
     let total = timer.total_secs();
     Value::obj()
         .with("bench", "pq_obs_pipeline")
@@ -465,6 +573,18 @@ pub fn bench_obs_json(timer: &PhaseTimer, scale: &str, seed: u64) -> Value {
         .with("jobs", pq_par::jobs() as u64)
         .with("par_tasks", par_tasks)
         .with("par_steals", par_steals)
+        .with(
+            "workers",
+            workers
+                .into_iter()
+                .map(|(id, tasks, steals)| {
+                    Value::obj()
+                        .with("worker", id)
+                        .with("tasks", tasks)
+                        .with("steals", steals)
+                })
+                .collect::<Vec<_>>(),
+        )
         .with("total_secs", total)
         .with("phases", timer.to_json())
         .with("sim_events", events)
@@ -522,6 +642,23 @@ mod tests {
                 attempts: 24,
             }],
             lint_baseline_count: 99,
+            alloc: Some(AllocReport {
+                total_allocs: 48_000_000,
+                total_bytes: 9_100_000_000,
+                peak_bytes: 310_000_000,
+                phases: vec![
+                    AllocPhase {
+                        phase: "experiment".into(),
+                        allocs: 47_000_000,
+                        bytes: 9_000_000_000,
+                    },
+                    AllocPhase {
+                        phase: "report".into(),
+                        allocs: 12_000,
+                        bytes: 3_400_000,
+                    },
+                ],
+            }),
         }
     }
 
@@ -531,6 +668,18 @@ mod tests {
         let text = m.to_json().to_pretty();
         let parsed = Value::parse(&text).expect("valid JSON");
         let back = Manifest::from_json(&parsed).expect("decodes");
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn manifest_without_alloc_round_trips() {
+        // Runs without PQ_PROF_ALLOC (and pre-profiling manifests)
+        // simply omit the "alloc" key.
+        let mut m = sample();
+        m.alloc = None;
+        let text = m.to_json().to_pretty();
+        assert!(!text.contains("\"alloc\""));
+        let back = Manifest::from_json(&Value::parse(&text).expect("valid JSON")).expect("decodes");
         assert_eq!(m, back);
     }
 

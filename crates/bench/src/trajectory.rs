@@ -1,0 +1,362 @@
+//! The bench trajectory: an append-only perf history plus the
+//! baseline diff that gates regressions.
+//!
+//! Every `runall` appends one schema-versioned JSON line to
+//! `results/BENCH_history.jsonl` ([`history_entry`] /
+//! [`append_history`]) — seed, jobs, scale and git revision stamped,
+//! so the events/sec trajectory across commits can be plotted or
+//! `jq`-ed without archaeology. The `pq-bench-diff` binary feeds two
+//! `BENCH_obs.json` documents to [`diff_bench`] and exits nonzero when
+//! throughput regressed beyond tolerance — CI runs it as a soft-fail
+//! report until the trajectory stabilises.
+
+use crate::manifest::Manifest;
+use pq_obs::json::Value;
+
+/// Version stamp written into every history line; bump when the entry
+/// shape changes so readers can dispatch.
+pub const HISTORY_SCHEMA: u64 = 1;
+
+/// Phases shorter than this in the baseline are skipped by the diff:
+/// their relative wall-time is noise.
+const MIN_PHASE_SECS: f64 = 0.05;
+
+/// Build one `BENCH_history.jsonl` entry from the run's manifest and
+/// its `BENCH_obs.json` document.
+pub fn history_entry(m: &Manifest, bench: &Value) -> Value {
+    let mut phases = Value::obj();
+    for (name, secs) in &m.phase_secs {
+        phases.set(name, Value::Num(*secs));
+    }
+    Value::obj()
+        .with("schema", HISTORY_SCHEMA)
+        .with("created_unix", m.created_unix)
+        .with("git_rev", m.git_rev.as_str())
+        .with("scale", m.scale.as_str())
+        .with("seed", m.seed)
+        .with("jobs", m.jobs)
+        .with("study_digest", m.study_digest.as_str())
+        .with(
+            "total_secs",
+            bench
+                .get("total_secs")
+                .and_then(Value::as_f64)
+                .unwrap_or(0.0),
+        )
+        .with(
+            "events_per_sec",
+            bench
+                .get("events_per_sec")
+                .and_then(Value::as_f64)
+                .unwrap_or(0.0),
+        )
+        .with("sim_events", m.sim_events)
+        .with("pageloads", m.pageloads)
+        .with("phases", phases)
+}
+
+/// Append `entry` as one compact line to the JSONL file at `path`,
+/// creating parent directories and the file itself as needed.
+pub fn append_history(path: &str, entry: &Value) -> std::io::Result<()> {
+    use std::io::Write as _;
+    if let Some(parent) = std::path::Path::new(path).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    // `Value`'s Display is the compact one-line form — exactly one
+    // history entry per line.
+    writeln!(f, "{entry}")
+}
+
+/// One compared quantity in a [`DiffReport`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct DiffLine {
+    /// What was compared (`events_per_sec`, `total_secs`, `phase:X`).
+    pub name: String,
+    /// Baseline value.
+    pub baseline: f64,
+    /// Current value.
+    pub current: f64,
+    /// `current / baseline` (NaN when the baseline is 0).
+    pub ratio: f64,
+    /// Whether this quantity regressed beyond tolerance.
+    pub regressed: bool,
+}
+
+/// The outcome of diffing a current `BENCH_obs.json` against a
+/// baseline one.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DiffReport {
+    /// Relative tolerance the comparison ran with.
+    pub tolerance: f64,
+    /// Per-quantity comparison lines, throughput first.
+    pub lines: Vec<DiffLine>,
+}
+
+impl DiffReport {
+    /// Did any quantity regress beyond tolerance?
+    pub fn regressed(&self) -> bool {
+        self.lines.iter().any(|l| l.regressed)
+    }
+
+    /// Human-readable table of the comparison.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<24} {:>14} {:>14} {:>8}  verdict",
+            "quantity", "baseline", "current", "ratio"
+        );
+        for l in &self.lines {
+            let verdict = if l.regressed {
+                "REGRESSED"
+            } else if l.ratio.is_nan() {
+                "n/a"
+            } else {
+                "ok"
+            };
+            let _ = writeln!(
+                out,
+                "{:<24} {:>14.3} {:>14.3} {:>8.3}  {verdict}",
+                l.name, l.baseline, l.current, l.ratio
+            );
+        }
+        let _ = writeln!(
+            out,
+            "tolerance ±{:.0}% → {}",
+            self.tolerance * 100.0,
+            if self.regressed() {
+                "REGRESSION DETECTED"
+            } else {
+                "within tolerance"
+            }
+        );
+        out
+    }
+}
+
+fn num(v: &Value, key: &str) -> Result<f64, String> {
+    v.get(key)
+        .and_then(Value::as_f64)
+        .ok_or_else(|| format!("missing or non-numeric field {key:?}"))
+}
+
+/// Compare a current `BENCH_obs.json` document against a baseline one
+/// with relative `tolerance` (e.g. `0.25` = 25 %).
+///
+/// Regression gates:
+/// * `events_per_sec` — current below `baseline × (1 − tolerance)`;
+/// * `total_secs` and each phase with a baseline ≥ 0.05 s — current
+///   above `baseline × (1 + tolerance)`.
+///
+/// Scale or seed mismatches are an error (the numbers would not be
+/// comparable), as is a malformed document.
+pub fn diff_bench(baseline: &Value, current: &Value, tolerance: f64) -> Result<DiffReport, String> {
+    if !tolerance.is_finite() || tolerance < 0.0 {
+        return Err(format!(
+            "tolerance must be a non-negative number, got {tolerance}"
+        ));
+    }
+    for key in ["scale", "seed"] {
+        let b = baseline.get(key).map(|v| v.to_string());
+        let c = current.get(key).map(|v| v.to_string());
+        if b != c {
+            return Err(format!(
+                "{key} mismatch: baseline {} vs current {} — runs are not comparable",
+                b.unwrap_or_else(|| "<missing>".into()),
+                c.unwrap_or_else(|| "<missing>".into()),
+            ));
+        }
+    }
+    let mut lines = Vec::new();
+    let ratio = |b: f64, c: f64| if b > 0.0 { c / b } else { f64::NAN };
+
+    let b_eps = num(baseline, "events_per_sec")?;
+    let c_eps = num(current, "events_per_sec")?;
+    lines.push(DiffLine {
+        name: "events_per_sec".into(),
+        baseline: b_eps,
+        current: c_eps,
+        ratio: ratio(b_eps, c_eps),
+        regressed: b_eps > 0.0 && c_eps < b_eps * (1.0 - tolerance),
+    });
+
+    let b_total = num(baseline, "total_secs")?;
+    let c_total = num(current, "total_secs")?;
+    lines.push(DiffLine {
+        name: "total_secs".into(),
+        baseline: b_total,
+        current: c_total,
+        ratio: ratio(b_total, c_total),
+        regressed: b_total >= MIN_PHASE_SECS && c_total > b_total * (1.0 + tolerance),
+    });
+
+    let b_phases = baseline
+        .get("phases")
+        .ok_or_else(|| "baseline missing \"phases\"".to_string())?;
+    let c_phases = current
+        .get("phases")
+        .ok_or_else(|| "current missing \"phases\"".to_string())?;
+    if let Value::Obj(entries) = b_phases {
+        for (name, bval) in entries {
+            let Some(b) = bval.as_f64() else { continue };
+            let Some(c) = c_phases.get(name).and_then(Value::as_f64) else {
+                continue; // phase added/removed across revisions: skip
+            };
+            lines.push(DiffLine {
+                name: format!("phase:{name}"),
+                baseline: b,
+                current: c,
+                ratio: ratio(b, c),
+                regressed: b >= MIN_PHASE_SECS && c > b * (1.0 + tolerance),
+            });
+        }
+    }
+    Ok(DiffReport { tolerance, lines })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bench(eps: f64, total: f64, experiment: f64) -> Value {
+        Value::obj()
+            .with("scale", "smoke")
+            .with("seed", 1910u64)
+            .with("events_per_sec", eps)
+            .with("total_secs", total)
+            .with(
+                "phases",
+                Value::obj()
+                    .with("experiment", experiment)
+                    .with("table1", 0.001),
+            )
+    }
+
+    #[test]
+    fn throughput_regression_detected() {
+        let base = bench(2_000_000.0, 1.0, 0.9);
+        let cur = bench(1_000_000.0, 1.0, 0.9); // -50% < -25% tolerance
+        let report = diff_bench(&base, &cur, 0.25).expect("diff");
+        assert!(report.regressed());
+        let line = &report.lines[0];
+        assert_eq!(line.name, "events_per_sec");
+        assert!(line.regressed);
+        assert!(report.render().contains("REGRESSION DETECTED"));
+    }
+
+    #[test]
+    fn within_tolerance_passes() {
+        let base = bench(2_000_000.0, 1.0, 0.9);
+        let cur = bench(1_800_000.0, 1.1, 1.0); // -10% / +10% at 25% tol
+        let report = diff_bench(&base, &cur, 0.25).expect("diff");
+        assert!(!report.regressed());
+        assert!(report.render().contains("within tolerance"));
+    }
+
+    #[test]
+    fn tolerance_boundary_is_exclusive() {
+        // Exactly at the boundary (current = base × (1 − tol)) passes;
+        // a hair beyond fails.
+        let base = bench(1_000_000.0, 1.0, 0.9);
+        let at = bench(750_000.0, 1.0, 0.9);
+        assert!(!diff_bench(&base, &at, 0.25).unwrap().regressed());
+        let beyond = bench(749_000.0, 1.0, 0.9);
+        assert!(diff_bench(&base, &beyond, 0.25).unwrap().regressed());
+    }
+
+    #[test]
+    fn slow_phase_regression_detected_but_noise_phases_skipped() {
+        let base = bench(2_000_000.0, 1.0, 0.9);
+        // experiment doubled → regression; table1 (1ms baseline) is
+        // below the phase floor, so even a huge ratio is ignored.
+        let mut cur = bench(2_000_000.0, 1.0, 1.8);
+        cur.set(
+            "phases",
+            Value::obj().with("experiment", 1.8).with("table1", 0.05),
+        );
+        let report = diff_bench(&base, &cur, 0.25).expect("diff");
+        let exp = report
+            .lines
+            .iter()
+            .find(|l| l.name == "phase:experiment")
+            .unwrap();
+        assert!(exp.regressed);
+        let t1 = report
+            .lines
+            .iter()
+            .find(|l| l.name == "phase:table1")
+            .unwrap();
+        assert!(!t1.regressed, "sub-50ms baseline phases never gate");
+    }
+
+    #[test]
+    fn mismatched_runs_and_malformed_docs_error() {
+        let base = bench(1.0, 1.0, 0.9);
+        let mut other_scale = bench(1.0, 1.0, 0.9);
+        other_scale.set("scale", "full");
+        assert!(diff_bench(&base, &other_scale, 0.25).is_err());
+        let empty = Value::obj().with("scale", "smoke").with("seed", 1910u64);
+        assert!(diff_bench(&base, &empty, 0.25).is_err());
+        assert!(diff_bench(&base, &base, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn history_entry_is_schema_stamped_one_liner() {
+        let m = crate::manifest::Manifest {
+            scale: "smoke".into(),
+            seed: 1910,
+            jobs: 4,
+            study_digest: "00c0ffee00c0ffee".into(),
+            git_rev: "abc1234".into(),
+            created_unix: 1_765_000_000,
+            phase_secs: vec![("experiment".into(), 0.7)],
+            funnel_ab: vec![],
+            funnel_rating: vec![],
+            plt_ms: vec![],
+            sim_events: 2_000_000,
+            pageloads: 300,
+            fault_spec: String::new(),
+            faults_injected: 0,
+            runs_retried: 0,
+            cells_quarantined: vec![],
+            lint_baseline_count: 0,
+            alloc: None,
+        };
+        let entry = history_entry(&m, &bench(2_800_000.0, 0.775, 0.7));
+        assert_eq!(
+            entry.get("schema").and_then(Value::as_u64),
+            Some(HISTORY_SCHEMA)
+        );
+        assert_eq!(
+            entry.get("git_rev").and_then(Value::as_str),
+            Some("abc1234")
+        );
+        let line = entry.to_string();
+        assert!(!line.contains('\n'), "compact single-line form");
+
+        let dir = std::env::temp_dir().join("pq_bench_history_test");
+        std::fs::remove_dir_all(&dir).ok();
+        let path = dir.join("BENCH_history.jsonl");
+        let path_str = path.to_str().unwrap();
+        append_history(path_str, &entry).expect("append 1");
+        append_history(path_str, &entry).expect("append 2");
+        let text = std::fs::read_to_string(&path).expect("read back");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2, "one line per run");
+        for l in lines {
+            let v = Value::parse(l).expect("each line parses");
+            assert_eq!(
+                v.get("schema").and_then(Value::as_u64),
+                Some(HISTORY_SCHEMA)
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -27,8 +27,9 @@ use crate::lexer::{Tok, TokKind};
 pub const DIGEST_CRATES: &[&str] = &["core", "sim", "transport", "web"];
 
 /// Crates allowed to read wall-clock time (harness timing, never
-/// digest-affecting values).
-pub const TIME_ALLOWED_CRATES: &[&str] = &["obs", "bench", "criterion"];
+/// digest-affecting values). `prof` observes wall time by design — it
+/// measures the hot loop, it never feeds it.
+pub const TIME_ALLOWED_CRATES: &[&str] = &["obs", "bench", "criterion", "prof"];
 
 /// The one file allowed to touch `std::env` directly.
 pub const ENV_FUNNEL_FILE: &str = "crates/obs/src/env.rs";
@@ -120,6 +121,12 @@ pub const RULES: &[RuleInfo] = &[
                (lowercase dotted segments, at least two)",
     },
     RuleInfo {
+        name: "prof-name",
+        family: Family::O,
+        what: "profiler span/tick literal not collapsed-stack-safe, or a prof-prefixed \
+               metric name violating the dotted-lowercase convention",
+    },
+    RuleInfo {
         name: "suppression",
         family: Family::L,
         what: "malformed pq-lint suppression (unknown rule name or missing '-- <reason>')",
@@ -195,6 +202,7 @@ pub fn check_file(ctx: &FileContext<'_>) -> Vec<Finding> {
     rule_unsafe(ctx, &mut out);
     rule_env(ctx, &mut out);
     rule_metric_name(ctx, &mut out);
+    rule_prof_name(ctx, &mut out);
     out.sort_by(|a, b| (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule)));
     out
 }
@@ -557,6 +565,82 @@ fn metric_name_ok(name: &str) -> bool {
         })
 }
 
+/// A span/tick frame name that survives collapsed-stack output: the
+/// `;`-joined, space-separated folded format corrupts if a frame name
+/// itself contains a space or `;` (and ` ` would split the count off).
+fn folded_name_ok(name: &str) -> bool {
+    let mut chars = name.chars();
+    chars.next().is_some_and(|c| c.is_ascii_lowercase())
+        && name.chars().all(|c| {
+            c.is_ascii_lowercase() || c.is_ascii_digit() || matches!(c, '_' | ':' | '.' | '-')
+        })
+}
+
+/// O: profiler naming. Two checks:
+///
+/// * literal frame names passed to `pq_prof::span(` / `pq_prof::tick(`
+///   must be folded-safe (see [`folded_name_ok`]) — a space or `;`
+///   silently corrupts every collapsed-stack line the frame appears in;
+/// * any string literal starting with `prof.` is a profiler metric
+///   name; stripped of a `{label="…"}` suffix it must pass the same
+///   dotted-lowercase convention `metric-name` enforces on registry
+///   sinks, so `prof.*` exposition stays greppable.
+fn rule_prof_name(ctx: &FileContext<'_>, out: &mut Vec<Finding>) {
+    let toks = ctx.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if ctx.in_test(t.line) {
+            continue;
+        }
+        if t.kind == TokKind::Str {
+            let name = t.text.trim_matches('"');
+            let bare = name.split('{').next().unwrap_or(name);
+            // pq-lint: allow(prof-name) -- the checker must name the prefix it checks
+            if name.starts_with("prof.") && !metric_name_ok(bare) {
+                push(
+                    out,
+                    "prof-name",
+                    t,
+                    t.text.clone(),
+                    format!(
+                        "prof metric name {bare:?} violates the crate.noun_verb convention \
+                         (lowercase dotted segments, e.g. \"prof.alloc.total_bytes\")"
+                    ),
+                );
+            }
+            continue;
+        }
+        // `pq_prof::span("literal")` / `pq_prof::tick("literal")` —
+        // formatted names (span_dyn closures) are exempt by
+        // construction, same as metric-name.
+        if t.kind != TokKind::Ident || t.text != "pq_prof" {
+            continue;
+        }
+        let span = matches_at(toks, i, &["pq_prof", ":", ":", "span", "("]);
+        let tick = matches_at(toks, i, &["pq_prof", ":", ":", "tick", "("]);
+        if !span && !tick {
+            continue;
+        }
+        let Some(arg) = toks.get(i + 5) else { continue };
+        if arg.kind != TokKind::Str {
+            continue;
+        }
+        let name = arg.text.trim_matches('"');
+        if !folded_name_ok(name) {
+            push(
+                out,
+                "prof-name",
+                arg,
+                arg.text.clone(),
+                format!(
+                    "profiler frame name {name:?} is not collapsed-stack-safe \
+                     (want lowercase start, then [a-z0-9_:.-]; spaces and ';' \
+                     corrupt prof.folded lines)"
+                ),
+            );
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -606,6 +690,8 @@ mod tests {
         assert_eq!(rules_hit(src, "crates/sim/src/x.rs", Some("sim")), ["time"]);
         assert!(rules_hit(src, "crates/obs/src/x.rs", Some("obs")).is_empty());
         assert!(rules_hit(src, "crates/bench/src/x.rs", Some("bench")).is_empty());
+        // The profiler measures wall time by design.
+        assert!(rules_hit(src, "crates/prof/src/x.rs", Some("prof")).is_empty());
     }
 
     #[test]
@@ -703,6 +789,35 @@ mod tests {
         );
         let good = "reg.counter_add(\"web.pageloads\", 1); reg.observe(\"web.plt_ms\", 1.0);";
         assert!(rules_hit(good, "crates/stats/src/x.rs", Some("stats")).is_empty());
+    }
+
+    #[test]
+    fn prof_frame_names_must_be_folded_safe() {
+        let bad = "let _s = pq_prof::span(\"RTO retransmit\"); pq_prof::tick(\"has;semi\");";
+        assert_eq!(
+            rules_hit(bad, "crates/transport/src/x.rs", Some("transport")),
+            ["prof-name", "prof-name"]
+        );
+        let good =
+            "let _s = pq_prof::span(\"transport:rto-retransmit\"); pq_prof::tick(\"quic:rto\");";
+        assert!(rules_hit(good, "crates/transport/src/x.rs", Some("transport")).is_empty());
+        // Formatted names (span_dyn closures) are exempt by construction.
+        let dy = "let _s = pq_prof::span_dyn(|| format!(\"link:{label}\"));";
+        assert!(rules_hit(dy, "crates/sim/src/x.rs", Some("sim")).is_empty());
+    }
+
+    #[test]
+    fn prof_metric_literals_follow_the_dotted_convention() {
+        // Formatted registry names escape metric-name; prof-name still
+        // checks the underlying literal before its `{label=...}` part.
+        let bad = "reg.counter_add(&format!(\"prof.allocBytes{{w=\\\"{w}\\\"}}\"), 1);";
+        assert_eq!(
+            rules_hit(bad, "crates/obs/src/x.rs", Some("obs")),
+            ["prof-name"]
+        );
+        let good = "reg.gauge_set(\"prof.alloc.peak_bytes\", 1.0); \
+                    reg.counter_add(&format!(\"prof.span.count{{path=\\\"{p}\\\"}}\"), 1);";
+        assert!(rules_hit(good, "crates/obs/src/x.rs", Some("obs")).is_empty());
     }
 
     #[test]

@@ -25,6 +25,10 @@
 //!   has no network access, so `serde` is not available; this module
 //!   fills the gap with ~300 auditable lines).
 //! * [`timing`] — wall-clock phase timers for the experiment harness.
+//! * [`profile`] — the bridge to `pq-prof`: configures the counting
+//!   allocator and span profiler from `PQ_PROF_*` knobs, mirrors the
+//!   profile into `prof.*` registry metrics, and writes the
+//!   collapsed-stack / flamegraph-SVG outputs at exit.
 //! * [`env`] — the central environment-variable funnel: every `PQ_*`
 //!   knob in the workspace reads through [`env::var`] /
 //!   [`env::var_parsed`] (unparsable values warn via the tracer), and
@@ -38,6 +42,10 @@
 //! | `PQ_TRACE` | `off` (default), `error`, `warn`, `info`, `debug`, `trace` |
 //! | `PQ_TRACE_OUT` | export path; `.jsonl` → JSONL, else Chrome trace JSON |
 //! | `PQ_TRACE_BUF` | ring capacity in events (default 262144) |
+//! | `PQ_PROF_ALLOC` | `1` enables the counting allocator (per-phase/per-worker alloc attribution) |
+//! | `PQ_PROF` | `1` enables the span-stack profiler without writing a file |
+//! | `PQ_PROF_OUT` | collapsed-stack output path (implies the span profiler on) |
+//! | `PQ_PROF_SVG` | flamegraph SVG output path (implies the span profiler on) |
 //!
 //! ## Track conventions
 //!
@@ -54,6 +62,7 @@ pub mod env;
 pub mod export;
 pub mod json;
 pub mod metrics;
+pub mod profile;
 pub mod timing;
 pub mod trace;
 

@@ -1,0 +1,174 @@
+//! Bridge between `pq-prof` and the observability surface.
+//!
+//! `pq-prof` itself reads no environment and writes no files; this
+//! module is where its knobs live so that every `PQ_*` read stays in
+//! the sanctioned [`crate::env`] funnel:
+//!
+//! * [`init_from_env`] — enable the counting allocator
+//!   (`PQ_PROF_ALLOC`) and the span profiler (`PQ_PROF`, or implied by
+//!   `PQ_PROF_OUT`/`PQ_PROF_SVG`).
+//! * [`export_metrics`] — mirror the profile into `prof.*` metrics in
+//!   the global registry, for Prometheus/JSON exposition next to
+//!   everything else.
+//! * [`flush_to_env`] — write the collapsed-stack file and/or the
+//!   flamegraph SVG at end of run.
+//! * [`alloc_summary`] — a one-line human allocation report for the
+//!   harness log.
+
+use std::path::PathBuf;
+
+/// Truthy env flag: set and neither empty nor `0`.
+fn flag(name: &str) -> bool {
+    crate::env::var(name).is_some_and(|v| !v.is_empty() && v != "0")
+}
+
+/// Configure `pq-prof` from the environment. Called by
+/// [`crate::trace::init_from_env`], so any binary that initialises
+/// tracing gets profiling knobs for free.
+pub fn init_from_env() {
+    let alloc_on = flag("PQ_PROF_ALLOC");
+    let spans_on = flag("PQ_PROF")
+        || crate::env::var("PQ_PROF_OUT").is_some()
+        || crate::env::var("PQ_PROF_SVG").is_some();
+    pq_prof::configure(alloc_on, spans_on);
+}
+
+/// Mirror the current profile into `prof.*` metrics in the global
+/// registry: allocation totals/per-phase/per-lane, span self-times and
+/// call counts, and tick counters. Idempotent only in the sense that
+/// counters accumulate — call it once, at end of run.
+pub fn export_metrics() {
+    let reg = crate::metrics::registry();
+    if pq_prof::alloc_enabled() {
+        let snap = pq_prof::alloc_snapshot();
+        reg.counter_add("prof.alloc.total_allocs", snap.total_allocs);
+        reg.counter_add("prof.alloc.total_bytes", snap.total_bytes);
+        reg.gauge_set("prof.alloc.peak_bytes", snap.peak_bytes as f64);
+        for p in &snap.phases {
+            reg.counter_add(
+                &format!("prof.alloc.allocs{{phase=\"{}\"}}", p.phase),
+                p.allocs,
+            );
+            reg.counter_add(
+                &format!("prof.alloc.bytes{{phase=\"{}\"}}", p.phase),
+                p.bytes,
+            );
+        }
+        for l in &snap.lanes {
+            reg.counter_add(
+                &format!("prof.alloc.allocs{{worker=\"{}\"}}", l.lane),
+                l.allocs,
+            );
+            reg.counter_add(
+                &format!("prof.alloc.bytes{{worker=\"{}\"}}", l.lane),
+                l.bytes,
+            );
+        }
+    }
+    if pq_prof::spans_enabled() {
+        for (path, count, self_ns) in pq_prof::folded() {
+            reg.counter_add(&format!("prof.span.count{{path=\"{path}\"}}"), count);
+            reg.counter_add(&format!("prof.span.self_ns{{path=\"{path}\"}}"), self_ns);
+        }
+        for (name, count) in pq_prof::ticks() {
+            reg.counter_add(&format!("prof.tick.count{{name=\"{name}\"}}"), count);
+        }
+    }
+}
+
+/// Write the collapsed-stack profile to `PQ_PROF_OUT` and/or the
+/// flamegraph SVG to `PQ_PROF_SVG`, when set. Returns the folded
+/// output path if one was written. IO failures warn through the tracer
+/// rather than killing a finished run.
+pub fn flush_to_env() -> Option<PathBuf> {
+    let mut written = None;
+    if let Some(out) = crate::env::var("PQ_PROF_OUT") {
+        let path = PathBuf::from(out);
+        match pq_prof::write_folded(&path) {
+            Ok(_) => written = Some(path),
+            Err(e) => crate::trace::tracer()
+                .warn("prof", format!("failed to write {}: {e}", path.display())),
+        }
+    }
+    if let Some(svg_out) = crate::env::var("PQ_PROF_SVG") {
+        let svg = pq_prof::svg::render(&pq_prof::folded());
+        let path = PathBuf::from(svg_out);
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir).ok();
+            }
+        }
+        match std::fs::write(&path, svg) {
+            Ok(()) if written.is_none() => written = Some(path),
+            Ok(()) => {}
+            Err(e) => crate::trace::tracer()
+                .warn("prof", format!("failed to write {}: {e}", path.display())),
+        }
+    }
+    written
+}
+
+/// One-line allocation summary for the harness log, or `None` when the
+/// counting allocator is off.
+pub fn alloc_summary() -> Option<String> {
+    if !pq_prof::alloc_enabled() {
+        return None;
+    }
+    let snap = pq_prof::alloc_snapshot();
+    let top = snap
+        .phases
+        .iter()
+        .max_by_key(|p| p.bytes)
+        .map(|p| {
+            format!(
+                ", top phase {} ({:.1} MiB)",
+                p.phase,
+                p.bytes as f64 / (1 << 20) as f64
+            )
+        })
+        .unwrap_or_default();
+    Some(format!(
+        "alloc: {} allocations, {:.1} MiB total, {:.1} MiB peak live{top}",
+        snap.total_allocs,
+        snap.total_bytes as f64 / (1 << 20) as f64,
+        snap.peak_bytes as f64 / (1 << 20) as f64,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn export_metrics_mirrors_alloc_and_spans() {
+        // Serialise against other tests that toggle the global flags.
+        let reg = crate::metrics::registry();
+        reg.clear_prefix("prof.");
+        pq_prof::reset();
+        pq_prof::configure(true, true);
+        {
+            let _p = pq_prof::phase_scope("bridge_probe");
+            let v: Vec<u8> = Vec::with_capacity(128 * 1024);
+            std::hint::black_box(&v);
+        }
+        pq_prof::tick("bridge:tick");
+        export_metrics();
+        pq_prof::configure(false, false);
+        assert!(reg.counter_value("prof.alloc.total_allocs") >= 1);
+        assert!(reg.counter_value("prof.alloc.allocs{phase=\"bridge_probe\"}") >= 1);
+        assert!(reg.counter_value("prof.span.count{path=\"bridge_probe\"}") >= 1);
+        assert_eq!(
+            reg.counter_value("prof.tick.count{name=\"bridge:tick\"}"),
+            1
+        );
+        reg.clear_prefix("prof.");
+        pq_prof::reset();
+    }
+
+    #[test]
+    fn alloc_summary_off_is_none() {
+        if !pq_prof::alloc_enabled() {
+            assert!(alloc_summary().is_none());
+        }
+    }
+}

@@ -82,12 +82,19 @@ impl PhaseTimer {
         Self::default()
     }
 
-    /// Run `f`, timing it as phase `name`. Returns `f`'s output.
+    /// Run `f`, timing it as phase `name`. Returns `f`'s output. The
+    /// phase also scopes `pq-prof` attribution: allocations inside `f`
+    /// land on this phase's slot and a profiler span of the same name
+    /// roots the phase's folded sub-tree (both inert unless profiling
+    /// is enabled).
     pub fn phase<T>(&mut self, name: &str, f: impl FnOnce() -> T) -> T {
         let t = tracer();
         let start_ns = t.wall_ns();
         let sw = Stopwatch::start();
-        let out = f();
+        let out = {
+            let _prof = pq_prof::phase_scope(name);
+            f()
+        };
         let secs = sw.elapsed_secs();
         let end_ns = t.wall_ns();
         self.record(name, secs, start_ns, end_ns);

@@ -260,6 +260,7 @@ pub fn init_from_env() -> Level {
         }
     }
     t.set_level(level);
+    crate::profile::init_from_env();
     level
 }
 
@@ -510,6 +511,41 @@ mod tests {
             assert_eq!(evs[3].name, "e9");
             let (_, recorded, _) = t.stats();
             assert_eq!(recorded - recorded_before, 10);
+            t.inner.lock().unwrap().capacity = orig;
+        });
+    }
+
+    #[test]
+    fn ring_overflow_counts_dropped_and_warns_at_export() {
+        with_level(Level::Info, || {
+            let t = tracer();
+            let orig = {
+                let mut inner = t.inner.lock().unwrap();
+                let orig = inner.capacity;
+                inner.capacity = 4;
+                orig
+            };
+            for i in 0..10u64 {
+                t.instant(Level::Info, "test", format!("d{i}"), 0, 0, i, Vec::new());
+            }
+            let (_, _, dropped) = t.stats();
+            assert!(dropped > 0, "overflow must be counted");
+            let reg = crate::metrics::registry();
+            let before = reg.counter_value("trace.dropped");
+            let dir = std::env::temp_dir().join("pq_obs_dropped_test");
+            let path = dir.join("out.jsonl");
+            crate::export::export(&path).expect("export");
+            assert_eq!(
+                reg.counter_value("trace.dropped"),
+                before + dropped,
+                "trace.dropped advances by the overflow count"
+            );
+            let text = std::fs::read_to_string(&path).expect("read exported trace");
+            assert!(
+                text.contains("ring overflow dropped"),
+                "the warning itself is exported"
+            );
+            std::fs::remove_dir_all(&dir).ok();
             t.inner.lock().unwrap().capacity = orig;
         });
     }

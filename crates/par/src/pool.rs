@@ -181,12 +181,16 @@ impl<R> Shared<R> {
     }
 }
 
-/// One worker's batch loop.
+/// One worker's batch loop. `prof_root` is the spawning thread's open
+/// `pq-prof` span path, so worker time folds under the phase that
+/// launched the batch (queue-wait shows up as `par:wait`, chunk
+/// execution as `par:run`).
 fn worker_loop<T, R>(
     id: usize,
     shared: &Shared<R>,
     items: &[T],
     f: &(dyn Fn(usize, &T) -> R + Sync),
+    prof_root: Option<&str>,
 ) where
     T: Sync,
     R: Send,
@@ -202,74 +206,80 @@ fn worker_loop<T, R>(
     let mut local_tasks = 0u64;
     let mut local_steals = 0u64;
     let mut local_chunks = 0u64;
+    pq_prof::set_lane(id + 1);
 
-    loop {
-        if shared.abort.load(Ordering::Acquire) {
-            break;
-        }
-        match shared.find_work(id) {
-            Some((chunk, stolen)) => {
-                if stolen {
-                    local_steals += 1;
-                }
-                local_chunks += 1;
-                let t0 = tracer.wall_ns();
-                let run = catch_unwind(AssertUnwindSafe(|| {
-                    let slice = &items[chunk.start..chunk.end];
-                    let mut out = Vec::with_capacity(chunk.len());
-                    for (i, item) in (chunk.start..chunk.end).zip(slice) {
-                        out.push(f(i, item));
+    {
+        let _worker = pq_prof::worker_span(prof_root, "par:worker");
+        loop {
+            if shared.abort.load(Ordering::Acquire) {
+                break;
+            }
+            match shared.find_work(id) {
+                Some((chunk, stolen)) => {
+                    if stolen {
+                        local_steals += 1;
                     }
-                    out
-                }));
-                match run {
-                    Ok(out) => {
-                        local_tasks += out.len() as u64;
-                        shared
-                            .results
-                            .lock()
-                            .expect("results poisoned")
-                            .push((chunk.start, out));
-                        if pq_obs::enabled(Level::Debug) {
-                            tracer.span(
-                                Level::Debug,
-                                "par",
-                                format!("chunk {}..{}", chunk.start, chunk.end),
-                                pid,
-                                0,
-                                t0,
-                                tracer.wall_ns(),
-                                vec![
-                                    ("items", ArgValue::U64(chunk.len() as u64)),
-                                    ("stolen", ArgValue::U64(u64::from(stolen))),
-                                ],
-                            );
+                    local_chunks += 1;
+                    let t0 = tracer.wall_ns();
+                    let _run_span = pq_prof::span("par:run");
+                    let run = catch_unwind(AssertUnwindSafe(|| {
+                        let slice = &items[chunk.start..chunk.end];
+                        let mut out = Vec::with_capacity(chunk.len());
+                        for (i, item) in (chunk.start..chunk.end).zip(slice) {
+                            out.push(f(i, item));
                         }
-                        shared.finish_chunk();
+                        out
+                    }));
+                    match run {
+                        Ok(out) => {
+                            local_tasks += out.len() as u64;
+                            shared
+                                .results
+                                .lock()
+                                .expect("results poisoned")
+                                .push((chunk.start, out));
+                            if pq_obs::enabled(Level::Debug) {
+                                tracer.span(
+                                    Level::Debug,
+                                    "par",
+                                    format!("chunk {}..{}", chunk.start, chunk.end),
+                                    pid,
+                                    0,
+                                    t0,
+                                    tracer.wall_ns(),
+                                    vec![
+                                        ("items", ArgValue::U64(chunk.len() as u64)),
+                                        ("stolen", ArgValue::U64(u64::from(stolen))),
+                                    ],
+                                );
+                            }
+                            shared.finish_chunk();
+                        }
+                        Err(payload) => {
+                            shared.finish_chunk();
+                            shared.poison(payload);
+                            break;
+                        }
                     }
-                    Err(payload) => {
-                        shared.finish_chunk();
-                        shared.poison(payload);
+                }
+                None => {
+                    // Nothing queued anywhere. Either the batch is done, or
+                    // chunks are in flight on siblings — park until the bell.
+                    let _wait_span = pq_prof::span("par:wait");
+                    let guard = shared.injector.lock().expect("injector poisoned");
+                    if shared.pending.load(Ordering::Acquire) == 0
+                        || shared.abort.load(Ordering::Acquire)
+                    {
                         break;
                     }
-                }
-            }
-            None => {
-                // Nothing queued anywhere. Either the batch is done, or
-                // chunks are in flight on siblings — park until the bell.
-                let guard = shared.injector.lock().expect("injector poisoned");
-                if shared.pending.load(Ordering::Acquire) == 0
-                    || shared.abort.load(Ordering::Acquire)
-                {
-                    break;
-                }
-                if guard.is_empty() {
-                    // Timeout bounds any lost-wakeup window; spurious
-                    // wakeups just re-run the scan above.
-                    let _ = shared
-                        .bell
-                        .wait_timeout(guard, PARK)
-                        .expect("injector poisoned");
+                    if guard.is_empty() {
+                        // Timeout bounds any lost-wakeup window; spurious
+                        // wakeups just re-run the scan above.
+                        let _ = shared
+                            .bell
+                            .wait_timeout(guard, PARK)
+                            .expect("injector poisoned");
+                    }
                 }
             }
         }
@@ -277,6 +287,16 @@ fn worker_loop<T, R>(
 
     shared.tasks.fetch_add(local_tasks, Ordering::Relaxed);
     shared.steals.fetch_add(local_steals, Ordering::Relaxed);
+    // Per-worker balance counters (scheduler-skew visibility in
+    // BENCH_obs.json); formatted names carry the worker id as a label.
+    let reg = pq_obs::registry();
+    reg.counter_add(&format!("par.worker_tasks{{worker=\"{id}\"}}"), local_tasks);
+    reg.counter_add(
+        &format!("par.worker_steals{{worker=\"{id}\"}}"),
+        local_steals,
+    );
+    pq_prof::flush_thread();
+    pq_prof::set_lane(0);
     if traced {
         tracer.span(
             Level::Info,
@@ -316,12 +336,18 @@ where
 
     let shared: Shared<R> = Shared::new(workers, chunks_for(n, workers));
     let fref: &(dyn Fn(usize, &T) -> R + Sync) = &f;
+    // Workers inherit the caller's open profiler span path so their
+    // time folds under the launching phase in the collapsed output.
+    let prof_root = pq_prof::current_path();
     std::thread::scope(|scope| {
         for id in 0..workers {
             let shared = &shared;
+            let prof_root = prof_root.as_deref();
             std::thread::Builder::new()
                 .name(format!("pq-par-{id}"))
-                .spawn_scoped(scope, move || worker_loop(id, shared, items, fref))
+                .spawn_scoped(scope, move || {
+                    worker_loop(id, shared, items, fref, prof_root)
+                })
                 .expect("spawn pq-par worker");
         }
     });

@@ -254,6 +254,7 @@ impl<P> Link<P> {
     /// The owner calls this at the instant returned by
     /// [`PushOutcome::StartedTx`] / [`TxDone::next_tx_done`].
     pub fn on_tx_done(&mut self, now: SimTime) -> TxDone<P> {
+        let _link_span = pq_prof::span_dyn(|| format!("link:{}", self.obs_label));
         let pkt = self
             .in_flight
             .take()

@@ -338,8 +338,24 @@ pub fn load_page_with_config(
         faults,
     };
 
+    let _load_span = pq_prof::span_dyn(|| format!("load:{}", protocol.label()));
     loader.discover(SimTime::ZERO, ObjectId(0));
     loader.run()
+}
+
+/// Profiler bucket name for an event — the per-event-type subdivision
+/// of the `experiment` phase in the folded profile.
+fn ev_name(ev: &Ev) -> &'static str {
+    match ev {
+        Ev::UpTx => "event:tx-up",
+        Ev::DownTx => "event:tx-down",
+        Ev::Deliver(..) => "event:arrival",
+        Ev::Wake(..) => "event:timer",
+        Ev::Respond(..) => "event:respond",
+        Ev::Processed(..) => "event:process",
+        Ev::DeferredRequest(..) => "event:defer",
+        Ev::GateOpen => "event:gate",
+    }
 }
 
 impl<'a> Loader<'a> {
@@ -869,6 +885,7 @@ impl<'a> Loader<'a> {
                 break;
             }
             let Some((now, ev)) = self.q.pop() else { break };
+            let _ev_span = pq_prof::span(ev_name(&ev));
             match ev {
                 Ev::UpTx => {
                     let txd = self.up.on_tx_done(now);

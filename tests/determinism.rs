@@ -129,6 +129,33 @@ fn study_data_bit_identical_across_jobs_1_2_8() {
     }
 }
 
+/// Profiling must be strictly off-path: allocation attribution and
+/// span collection on vs off may not move a single bit of the study
+/// digest, serial or parallel.
+#[test]
+fn study_digest_identical_with_profiling_on_and_off() {
+    let _g = JOBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let sites = small_sites();
+    let digest = || {
+        let stimuli = StimulusSet::build(&sites, &NetworkKind::ALL, &Protocol::ALL, 2, 77);
+        pq_bench::manifest::study_digest(&run_study(&stimuli, 9))
+    };
+    for jobs in [1usize, 4] {
+        pq_prof::configure(false, false);
+        pq_prof::reset();
+        let plain = with_jobs(jobs, digest);
+        pq_prof::configure(true, true);
+        pq_prof::reset();
+        let profiled = with_jobs(jobs, digest);
+        pq_prof::configure(false, false);
+        pq_prof::reset();
+        assert_eq!(
+            plain, profiled,
+            "profiling perturbed the study digest at jobs={jobs}"
+        );
+    }
+}
+
 #[test]
 fn population_bit_identical_across_jobs_1_2_8() {
     let _g = JOBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
