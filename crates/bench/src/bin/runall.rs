@@ -7,7 +7,7 @@
 
 #![forbid(unsafe_code)]
 
-use pq_bench::manifest::{bench_obs_json, write_json, Manifest};
+use pq_bench::manifest::{bench_obs_edge_json, bench_obs_json, write_json, Manifest};
 use pq_bench::report;
 use pq_bench::trajectory::{append_history, history_entry};
 
@@ -30,7 +30,10 @@ fn main() {
         Ok(()) => eprintln!("[runall] wrote results/manifest.json"),
         Err(err) => eprintln!("[runall] failed to write manifest: {err}"),
     }
-    let bench = bench_obs_json(&timer, e.scale.label(), e.seed);
+    let mut bench = bench_obs_json(&timer, e.scale.label(), e.seed);
+    if let Some(edge) = bench_obs_edge_json() {
+        bench.set("edge", edge);
+    }
     match write_json("results/BENCH_obs.json", &bench) {
         Ok(()) => eprintln!("[runall] wrote results/BENCH_obs.json"),
         Err(err) => eprintln!("[runall] failed to write BENCH_obs.json: {err}"),

@@ -80,7 +80,7 @@ pub mod report;
 pub mod trajectory;
 
 use pq_sim::NetworkKind;
-use pq_study::{run_study, StimulusSet, StudyData};
+use pq_study::{run_study_with, StimulusSet, StudyData};
 use pq_transport::Protocol;
 use pq_web::{catalogue, Website};
 
@@ -168,41 +168,60 @@ pub struct Experiment {
     pub scale: Scale,
     /// Study seed.
     pub seed: u64,
+    /// Protocol stacks the grid was built over (sorted; the paper's
+    /// five by default, optionally extended with the edge stacks via
+    /// `PQ_STACKS`).
+    pub stacks: Vec<Protocol>,
     /// Typical videos per condition.
     pub stimuli: StimulusSet,
     /// Raw votes, funnels and sessions.
     pub data: StudyData,
 }
 
-/// Run the full pipeline (stimulus production + both studies).
+/// Run the full pipeline (stimulus production + both studies) over the
+/// paper's five Table-1 stacks.
 pub fn run_experiment(scale: Scale, seed: u64) -> Experiment {
+    run_experiment_with_stacks(scale, seed, &Protocol::ALL)
+}
+
+/// Run the full pipeline over an explicit stack selection. With
+/// `&Protocol::ALL` this is byte-for-byte the baseline experiment —
+/// [`Protocol::pairs_for`] then yields exactly the Figure-4 pairings —
+/// so enabling edge stacks can never disturb the committed digest.
+pub fn run_experiment_with_stacks(scale: Scale, seed: u64, stacks: &[Protocol]) -> Experiment {
     let sites = sites_for(scale);
     let (_, runs) = scale.params();
-    let stimuli = StimulusSet::build(&sites, &NetworkKind::ALL, &Protocol::ALL, runs, seed);
-    let data = run_study(&stimuli, seed);
+    let stimuli = StimulusSet::build(&sites, &NetworkKind::ALL, stacks, runs, seed);
+    let pairs = Protocol::pairs_for(stacks);
+    let data = run_study_with(&stimuli, &pairs, stacks, seed);
     Experiment {
         scale,
         seed,
+        stacks: stacks.to_vec(),
         stimuli,
         data,
     }
 }
 
-/// Run with environment-controlled scale/seed, echoing the setup.
+/// Run with environment-controlled scale/seed/stacks, echoing the
+/// setup. `PQ_STACKS` (see [`pq_edge::stacks_from_env`]) selects the
+/// protocol grid; unset keeps the paper's five stacks.
 pub fn run_experiment_from_env(header: &str) -> Experiment {
     let scale = Scale::from_env();
     let seed = seed_from_env();
     let jobs = pq_par::jobs();
     let faulted = pq_fault::init_from_env();
+    let stacks = pq_edge::stacks_from_env();
     let (sites, runs) = scale.params();
     eprintln!(
-        "[{header}] scale={} ({sites} sites × 4 networks × 5 stacks × {runs} runs), \
+        "[{header}] scale={} ({sites} sites × 4 networks × {} stacks × {runs} runs), \
          seed={seed}, jobs={jobs}{}",
         scale.label(),
+        stacks.len(),
         if faulted { ", faults=ON" } else { "" },
     );
     let t0 = std::time::Instant::now();
-    let e = run_experiment(scale, seed);
+    let e = run_experiment_with_stacks(scale, seed, &stacks);
     eprintln!("[{header}] pipeline done in {:.1?}", t0.elapsed());
     e
 }

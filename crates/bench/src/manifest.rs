@@ -10,7 +10,6 @@ use crate::Experiment;
 use pq_obs::json::Value;
 use pq_obs::{MetricSnapshot, PhaseTimer};
 use pq_study::{Group, StudyData};
-use pq_transport::Protocol;
 
 /// Accumulating FNV-1a/64 hasher for the study digest.
 struct Fnv(u64);
@@ -142,6 +141,27 @@ pub struct AllocPhase {
     pub bytes: u64,
 }
 
+/// The edge-stack block of a run that enabled the `pq-edge` proxy or
+/// middlebox stacks (`PQ_STACKS`); absent when the grid was the
+/// paper's plain five.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EdgeBlock {
+    /// Edge stack labels that were part of the grid.
+    pub stacks: Vec<String>,
+    /// Proxy per-origin connection-pool size (`PQ_EDGE_POOL`).
+    pub pool_size: u64,
+    /// Replica origins the proxy balances over (`PQ_EDGE_REPLICAS`).
+    pub replicas: u64,
+    /// Origin legs the proxy opened (`edge.conns_opened`).
+    pub conns_opened: u64,
+    /// Dispatches served by an already-open leg (`edge.conns_reused`).
+    pub conns_reused: u64,
+    /// Idle legs evicted from the pools (`edge.conns_evicted`).
+    pub conns_evicted: u64,
+    /// Packets the middlebox retransmitted early (`edge.mbx_early_retx`).
+    pub mbx_early_retx: u64,
+}
+
 /// The allocation report of a run profiled with `PQ_PROF_ALLOC=1`.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct AllocReport {
@@ -204,6 +224,10 @@ pub struct Manifest {
     /// Allocation attribution from the `pq-prof` counting allocator;
     /// `None` when the run executed without `PQ_PROF_ALLOC=1`.
     pub alloc: Option<AllocReport>,
+    /// Edge-stack summary (pool and middlebox activity); `None` when
+    /// no edge stack was in the grid, keeping baseline manifests
+    /// byte-stable.
+    pub edge: Option<EdgeBlock>,
 }
 
 impl Manifest {
@@ -222,8 +246,10 @@ impl Manifest {
                 })
                 .collect()
         };
-        let plt_ms = Protocol::ALL
-            .into_iter()
+        let plt_ms = e
+            .stacks
+            .iter()
+            .copied()
             .filter_map(|p| {
                 let name = format!("web.plt_ms{{proto=\"{}\"}}", p.label());
                 match reg.get(&name) {
@@ -297,6 +323,25 @@ impl Manifest {
                             bytes: p.bytes,
                         })
                         .collect(),
+                })
+            } else {
+                None
+            },
+            edge: if e.stacks.iter().any(|p| p.is_edge()) {
+                let cfg = pq_edge::EdgeConfig::from_env();
+                Some(EdgeBlock {
+                    stacks: e
+                        .stacks
+                        .iter()
+                        .filter(|p| p.is_edge())
+                        .map(|p| p.label().to_string())
+                        .collect(),
+                    pool_size: u64::from(cfg.pool_size),
+                    replicas: u64::from(cfg.replicas),
+                    conns_opened: counter("edge.conns_opened"),
+                    conns_reused: counter("edge.conns_reused"),
+                    conns_evicted: counter("edge.conns_evicted"),
+                    mbx_early_retx: counter("edge.mbx_early_retx"),
                 })
             } else {
                 None
@@ -394,6 +439,25 @@ impl Manifest {
             .with("lint_baseline_count", self.lint_baseline_count);
         if let Some(a) = &self.alloc {
             out.set("alloc", alloc_json(a));
+        }
+        if let Some(e) = &self.edge {
+            out.set(
+                "edge",
+                Value::obj()
+                    .with(
+                        "stacks",
+                        e.stacks
+                            .iter()
+                            .map(|s| Value::from(s.as_str()))
+                            .collect::<Vec<_>>(),
+                    )
+                    .with("pool_size", e.pool_size)
+                    .with("replicas", e.replicas)
+                    .with("conns_opened", e.conns_opened)
+                    .with("conns_reused", e.conns_reused)
+                    .with("conns_evicted", e.conns_evicted)
+                    .with("mbx_early_retx", e.mbx_early_retx),
+            );
         }
         out
     }
@@ -493,6 +557,23 @@ impl Manifest {
                             })
                         })
                         .collect::<Option<Vec<_>>>()?,
+                }),
+            },
+            edge: match v.get("edge") {
+                None => None,
+                Some(e) => Some(EdgeBlock {
+                    stacks: e
+                        .get("stacks")?
+                        .as_arr()?
+                        .iter()
+                        .map(|s| Some(s.as_str()?.to_string()))
+                        .collect::<Option<Vec<_>>>()?,
+                    pool_size: e.get("pool_size")?.as_u64()?,
+                    replicas: e.get("replicas")?.as_u64()?,
+                    conns_opened: e.get("conns_opened")?.as_u64()?,
+                    conns_reused: e.get("conns_reused")?.as_u64()?,
+                    conns_evicted: e.get("conns_evicted")?.as_u64()?,
+                    mbx_early_retx: e.get("mbx_early_retx")?.as_u64()?,
                 }),
             },
         })
@@ -599,9 +680,36 @@ pub fn bench_obs_json(timer: &PhaseTimer, scale: &str, seed: u64) -> Value {
         .with("pageloads", pageloads)
 }
 
+/// The `edge` block for `BENCH_obs.json`: pool and middlebox activity
+/// counters. `None` when no edge stack ran (none of the `edge.*`
+/// counters exist), so plain-stack baselines keep their exact shape.
+pub fn bench_obs_edge_json() -> Option<Value> {
+    let reg = pq_obs::registry();
+    let names = [
+        "edge.conns_opened",
+        "edge.conns_reused",
+        "edge.conns_evicted",
+        "edge.mbx_early_retx",
+    ];
+    if !names.iter().any(|n| reg.get(n).is_some()) {
+        return None;
+    }
+    let counter = |name: &str| match reg.get(name) {
+        Some(MetricSnapshot::Counter(v)) => v,
+        _ => 0,
+    };
+    let mut v = Value::obj();
+    for name in names {
+        let key = name.strip_prefix("edge.").unwrap_or(name);
+        v.set(key, Value::from(counter(name)));
+    }
+    Some(v)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pq_transport::Protocol;
 
     fn sample() -> Manifest {
         Manifest {
@@ -659,6 +767,15 @@ mod tests {
                     },
                 ],
             }),
+            edge: Some(EdgeBlock {
+                stacks: vec!["QUIC-EDGE".into(), "QUIC-MBX".into(), "H2-EDGE".into()],
+                pool_size: 2,
+                replicas: 2,
+                conns_opened: 310,
+                conns_reused: 1240,
+                conns_evicted: 18,
+                mbx_early_retx: 96,
+            }),
         }
     }
 
@@ -679,6 +796,18 @@ mod tests {
         m.alloc = None;
         let text = m.to_json().to_pretty();
         assert!(!text.contains("\"alloc\""));
+        let back = Manifest::from_json(&Value::parse(&text).expect("valid JSON")).expect("decodes");
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn manifest_without_edge_round_trips() {
+        // Plain five-stack runs (and pre-edge manifests) omit the
+        // "edge" key entirely.
+        let mut m = sample();
+        m.edge = None;
+        let text = m.to_json().to_pretty();
+        assert!(!text.contains("\"edge\""));
         let back = Manifest::from_json(&Value::parse(&text).expect("valid JSON")).expect("decodes");
         assert_eq!(m, back);
     }

@@ -18,7 +18,7 @@ pub fn print_table1() {
         "Protocol", "CC", "IW", "Pacing", "TunedBuffers", "IdleRestart"
     );
     let net = NetworkKind::Dsl.config();
-    for p in Protocol::ALL {
+    for p in Protocol::ALL_WITH_EDGE {
         let c = p.config(&net);
         println!(
             "{:<10} {:<9} {:<4} {:<7} {:<14} {:<12} {}",
@@ -209,7 +209,7 @@ pub fn print_fig4(e: &Experiment) {
     let groups = [Group::Lab, Group::MicroWorker];
     for network in NetworkKind::ALL {
         println!("--- {} ---", network.name());
-        for pair in Protocol::AB_PAIRS {
+        for pair in Protocol::pairs_for(&e.stacks) {
             if let Some(s) = ab_shares(&e.data.ab, network, pair, &groups) {
                 println!(
                     "{:>9} vs {:<9} {}|{}|{}  {:>4.0}% / {:>4.0}% / {:>4.0}%  (n={}, avg replays {:.2})",
@@ -244,7 +244,7 @@ pub fn print_fig5(e: &Experiment) {
         (Environment::Plane, Some(NetworkKind::Mss)),
     ];
     print!("{:<22}", "setting");
-    for p in Protocol::ALL {
+    for p in &e.stacks {
         print!(" {:>16}", p.label());
     }
     println!();
@@ -253,7 +253,7 @@ pub fn print_fig5(e: &Experiment) {
             "{:<22}",
             format!("{} / {}", env.name(), net.unwrap().name())
         );
-        for p in Protocol::ALL {
+        for &p in &e.stacks {
             match pq_study::rating_interval(&e.data.ratings, env, net, p, Group::MicroWorker, 0.99)
             {
                 Some(ci) => print!(" {:>8.1} ±{:>5.1} ", ci.mean, ci.half_width),
@@ -263,15 +263,11 @@ pub fn print_fig5(e: &Experiment) {
         println!();
     }
 
-    println!("\nANOVA across the five protocols per setting:");
+    println!("\nANOVA across the protocol grid per setting:");
     for (env, net) in cells {
-        if let Some(r) = anova_across_protocols(
-            &e.data.ratings,
-            env,
-            net,
-            &Protocol::ALL,
-            Group::MicroWorker,
-        ) {
+        if let Some(r) =
+            anova_across_protocols(&e.data.ratings, env, net, &e.stacks, Group::MicroWorker)
+        {
             println!(
                 "  {:<22} F={:<6.2} p={:<8.4} significant: 99% {} / 90% {}",
                 format!("{} / {}", env.name(), net.unwrap().name()),
@@ -284,12 +280,17 @@ pub fn print_fig5(e: &Experiment) {
     }
 
     println!("\n§4.4 'Where it makes a difference' (per-site pairwise, 90% level):");
-    let pairs: Vec<(Protocol, Protocol)> = vec![
+    let mut pairs: Vec<(Protocol, Protocol)> = vec![
         (Protocol::Quic, Protocol::Tcp),
         (Protocol::Quic, Protocol::TcpPlus),
         (Protocol::QuicBbr, Protocol::TcpPlusBbr),
         (Protocol::TcpPlus, Protocol::Tcp),
     ];
+    pairs.extend(
+        Protocol::EDGE_AB_PAIRS
+            .into_iter()
+            .filter(|(a, b)| e.stacks.contains(a) && e.stacks.contains(b)),
+    );
     for network in NetworkKind::ALL {
         let diffs = per_site_differences(
             &e.data.ratings,
@@ -322,7 +323,7 @@ pub fn print_fig5(e: &Experiment) {
 pub fn print_fig6(e: &Experiment) {
     println!("== Figure 6: Pearson r, technical metric vs mean vote (µWorker) ==");
     println!("(DSL/LTE use free-time votes, as in the paper)");
-    for protocol in Protocol::ALL {
+    for &protocol in &e.stacks {
         println!("--- {} ---", protocol.label());
         print!("{:<6}", "");
         for n in NetworkKind::ALL {

@@ -328,6 +328,7 @@ mod tests {
             cells_quarantined: vec![],
             lint_baseline_count: 0,
             alloc: None,
+            edge: None,
         };
         let entry = history_entry(&m, &bench(2_800_000.0, 0.775, 0.7));
         assert_eq!(

@@ -1,0 +1,224 @@
+//! Edge knobs and the `PQ_STACKS` stack selection.
+
+use pq_sim::SimDuration;
+use pq_transport::Protocol;
+
+/// Tunables of the edge topology and its two network functions.
+///
+/// Every field has a conservative default; [`EdgeConfig::from_env`]
+/// overrides from `PQ_EDGE_*` variables through the `pq_obs::env`
+/// funnel. The config is bound per page load (never read inside the
+/// event loop), so a load's behaviour is a pure function of
+/// `(config, derived seed)`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EdgeConfig {
+    /// Pooled H2/TCP connections the proxy keeps per replica origin
+    /// (`PQ_EDGE_POOL`).
+    pub pool_size: u32,
+    /// Idle timeout after which an unused pooled connection is
+    /// evicted (`PQ_EDGE_IDLE_MS`).
+    pub idle: SimDuration,
+    /// Replica origins per logical origin the proxy load-balances
+    /// across (`PQ_EDGE_REPLICAS`).
+    pub replicas: u32,
+    /// Share of the end-to-end minimum RTT on the client-side path
+    /// segment; the rest is backbone (`PQ_EDGE_RTT_SPLIT`).
+    pub client_rtt_share: f64,
+    /// Backbone bandwidth, both directions (`PQ_EDGE_BB_MBPS`,
+    /// megabits per second).
+    pub backbone_bps: u64,
+    /// Middlebox packet-buffer budget in bytes (`PQ_EDGE_MBX_BUF_KB`,
+    /// kilobytes).
+    pub mbx_buffer_bytes: u64,
+    /// Packet-number reordering margin before the middlebox declares
+    /// a buffered packet lost (the gQUIC kReorderingThreshold shape);
+    /// guards against spurious retransmits on pure reordering.
+    pub mbx_reorder_threshold: u64,
+    /// Downstream inter-arrival gap that closes a flowlet; only
+    /// packets of closed flowlets are early-retransmit candidates.
+    pub mbx_flowlet_gap: SimDuration,
+}
+
+impl Default for EdgeConfig {
+    fn default() -> EdgeConfig {
+        EdgeConfig {
+            pool_size: 2,
+            idle: SimDuration::from_millis(10_000),
+            replicas: 2,
+            client_rtt_share: 0.2,
+            backbone_bps: 1_000_000_000,
+            mbx_buffer_bytes: 256 * 1024,
+            mbx_reorder_threshold: 3,
+            mbx_flowlet_gap: SimDuration::from_millis(8),
+        }
+    }
+}
+
+impl EdgeConfig {
+    /// Defaults overridden by the `PQ_EDGE_*` environment knobs (read
+    /// through `pq_obs::env`, so set-but-unparsable values warn once
+    /// instead of being silently swallowed).
+    pub fn from_env() -> EdgeConfig {
+        let d = EdgeConfig::default();
+        let pool_size = pq_obs::env::var_parsed::<u32>("PQ_EDGE_POOL")
+            .filter(|&n| n > 0)
+            .unwrap_or(d.pool_size);
+        let idle = pq_obs::env::var_parsed::<u64>("PQ_EDGE_IDLE_MS")
+            .filter(|&ms| ms > 0)
+            .map(SimDuration::from_millis)
+            .unwrap_or(d.idle);
+        let replicas = pq_obs::env::var_parsed::<u32>("PQ_EDGE_REPLICAS")
+            .filter(|&n| n > 0)
+            .unwrap_or(d.replicas);
+        let client_rtt_share = pq_obs::env::var_parsed::<f64>("PQ_EDGE_RTT_SPLIT")
+            .filter(|s| s.is_finite() && *s > 0.0 && *s < 1.0)
+            .unwrap_or(d.client_rtt_share);
+        let backbone_bps = pq_obs::env::var_parsed::<u64>("PQ_EDGE_BB_MBPS")
+            .filter(|&m| m > 0)
+            .map(|m| m * 1_000_000)
+            .unwrap_or(d.backbone_bps);
+        let mbx_buffer_bytes = pq_obs::env::var_parsed::<u64>("PQ_EDGE_MBX_BUF_KB")
+            .filter(|&k| k > 0)
+            .map(|k| k * 1024)
+            .unwrap_or(d.mbx_buffer_bytes);
+        EdgeConfig {
+            pool_size,
+            idle,
+            replicas,
+            client_rtt_share,
+            backbone_bps,
+            mbx_buffer_bytes,
+            ..d
+        }
+    }
+}
+
+/// The protocol-stack selection from `PQ_STACKS`.
+///
+/// * unset or `table1` — the paper's five stacks (the default; the
+///   committed baseline digest is defined over this selection);
+/// * `all` — Table 1 plus the three edge stacks;
+/// * `edge` — the three edge stacks plus their A/B partners
+///   (QUIC and TCP+), the smallest grid where every edge pair runs;
+/// * otherwise — a comma-separated list of stack labels
+///   (e.g. `QUIC,QUIC-EDGE`); unknown labels warn via the tracer and
+///   are skipped, and an empty result falls back to Table 1.
+///
+/// The returned list is sorted in canonical (declaration) order and
+/// deduplicated, so grid and study iteration order never depends on
+/// how the variable was spelled.
+pub fn stacks_from_env() -> Vec<Protocol> {
+    let Some(raw) = pq_obs::env::var("PQ_STACKS") else {
+        return Protocol::ALL.to_vec();
+    };
+    let mut stacks: Vec<Protocol> = match raw.trim() {
+        "" | "table1" => Protocol::ALL.to_vec(),
+        "all" => Protocol::ALL_WITH_EDGE.to_vec(),
+        "edge" => {
+            let mut v = vec![Protocol::Quic, Protocol::TcpPlus];
+            v.extend(Protocol::EDGE);
+            v
+        }
+        list => list
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .filter_map(|label| {
+                let p = Protocol::from_label(label);
+                if p.is_none() {
+                    pq_obs::tracer().warn(
+                        "edge",
+                        format!("unknown stack {label:?} in PQ_STACKS; skipping it"),
+                    );
+                }
+                p
+            })
+            .collect(),
+    };
+    if stacks.is_empty() {
+        pq_obs::tracer().warn(
+            "edge",
+            format!("PQ_STACKS={raw:?} selected no stacks; defaulting to table1"),
+        );
+        return Protocol::ALL.to_vec();
+    }
+    stacks.sort_unstable();
+    stacks.dedup();
+    stacks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    // Env-mutating tests share one process; serialize them.
+    static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn defaults_are_sane() {
+        let d = EdgeConfig::default();
+        assert!(d.pool_size > 0 && d.replicas > 0);
+        assert!(d.client_rtt_share > 0.0 && d.client_rtt_share < 1.0);
+        assert!(d.mbx_reorder_threshold >= 1);
+    }
+
+    #[test]
+    fn env_overrides_apply() {
+        let _g = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        std::env::set_var("PQ_EDGE_POOL", "5");
+        std::env::set_var("PQ_EDGE_REPLICAS", "3");
+        std::env::set_var("PQ_EDGE_RTT_SPLIT", "0.4");
+        let c = EdgeConfig::from_env();
+        assert_eq!(c.pool_size, 5);
+        assert_eq!(c.replicas, 3);
+        assert!((c.client_rtt_share - 0.4).abs() < 1e-12);
+        std::env::remove_var("PQ_EDGE_POOL");
+        std::env::remove_var("PQ_EDGE_REPLICAS");
+        std::env::remove_var("PQ_EDGE_RTT_SPLIT");
+        assert_eq!(EdgeConfig::from_env(), EdgeConfig::default());
+    }
+
+    #[test]
+    fn bad_env_values_fall_back() {
+        let _g = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        std::env::set_var("PQ_EDGE_POOL", "0");
+        std::env::set_var("PQ_EDGE_RTT_SPLIT", "1.5");
+        let c = EdgeConfig::from_env();
+        assert_eq!(c.pool_size, EdgeConfig::default().pool_size);
+        assert_eq!(c.client_rtt_share, EdgeConfig::default().client_rtt_share);
+        std::env::remove_var("PQ_EDGE_POOL");
+        std::env::remove_var("PQ_EDGE_RTT_SPLIT");
+    }
+
+    #[test]
+    fn stacks_selection() {
+        let _g = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        std::env::remove_var("PQ_STACKS");
+        assert_eq!(stacks_from_env(), Protocol::ALL.to_vec());
+
+        std::env::set_var("PQ_STACKS", "all");
+        assert_eq!(stacks_from_env(), Protocol::ALL_WITH_EDGE.to_vec());
+
+        std::env::set_var("PQ_STACKS", "edge");
+        assert_eq!(
+            stacks_from_env(),
+            vec![
+                Protocol::TcpPlus,
+                Protocol::Quic,
+                Protocol::QuicEdge,
+                Protocol::QuicMbx,
+                Protocol::H2Edge
+            ]
+        );
+
+        // Explicit lists are canonicalized: sorted, deduplicated.
+        std::env::set_var("PQ_STACKS", "QUIC-EDGE,QUIC,QUIC-EDGE,bogus");
+        assert_eq!(stacks_from_env(), vec![Protocol::Quic, Protocol::QuicEdge]);
+
+        // All-unknown lists fall back to Table 1.
+        std::env::set_var("PQ_STACKS", "bogus");
+        assert_eq!(stacks_from_env(), Protocol::ALL.to_vec());
+        std::env::remove_var("PQ_STACKS");
+    }
+}

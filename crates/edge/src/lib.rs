@@ -1,0 +1,38 @@
+//! # pq-edge — in-sim edge network functions
+//!
+//! The real Internet rarely carries QUIC end-to-end: most traffic
+//! crosses an *edge* — CDN reverse proxies that terminate H3 on the
+//! client side and speak pooled H2/TCP to origins, and transparent
+//! middleboxes that interpose on the bottleneck link. This crate
+//! models both shapes deterministically so the study pipeline can ask
+//! the paper's question one layer up: *do users notice the edge?*
+//!
+//! Two network functions, both pure functions of derived seeds:
+//!
+//! * [`EdgePools`] — the terminating proxy's per-origin connection
+//!   pools: reuse across page objects, configurable pool size and
+//!   idle timeout, and least-outstanding load balancing across
+//!   replica origins with a seed-derived tiebreak (the spooky shape).
+//! * [`Middlebox`] — a transparent observer on the access link that
+//!   buffers downstream QUIC packets, groups them into flowlets by
+//!   inter-arrival gap, infers losses from the packet-number ranges
+//!   in returning ACKs, early-retransmits from its buffer, and keeps
+//!   a client/origin RTT-split estimate — without terminating the
+//!   connection (the PEMI shape).
+//!
+//! Neither type performs I/O or reads clocks; the `pq-web` edge
+//! loader drives them from its event loop. [`EdgeConfig`] carries the
+//! knobs, readable from the environment via [`EdgeConfig::from_env`]
+//! (`PQ_EDGE_*`, funnelled through `pq_obs::env`), and
+//! [`stacks_from_env`] parses the `PQ_STACKS` stack selection.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod mbx;
+mod pool;
+
+pub use config::{stacks_from_env, EdgeConfig};
+pub use mbx::Middlebox;
+pub use pool::{Dispatch, DispatchOutcome, EdgePools, PoolStats};

@@ -24,7 +24,7 @@ use crate::lexer::{Tok, TokKind};
 
 /// Crates whose output feeds the study digest: any nondeterminism
 /// here invalidates every recorded baseline.
-pub const DIGEST_CRATES: &[&str] = &["core", "sim", "transport", "web"];
+pub const DIGEST_CRATES: &[&str] = &["core", "edge", "sim", "transport", "web"];
 
 /// Crates allowed to read wall-clock time (harness timing, never
 /// digest-affecting values). `prof` observes wall time by design — it

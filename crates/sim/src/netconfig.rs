@@ -186,6 +186,47 @@ impl NetworkConfig {
     pub fn bdp_bytes(&self) -> u64 {
         (self.down_bps as f64 / 8.0 * self.min_rtt.as_secs_f64()) as u64
     }
+
+    /// The client-side path segment of an edge topology: the paper's
+    /// access network (same bandwidth, loss and queue budget) carrying
+    /// `client_share` of the end-to-end minimum RTT. The edge node
+    /// (proxy or middlebox) sits at the far end of this segment.
+    ///
+    /// `client_share` is clamped to `[0.05, 0.95]` so neither segment
+    /// degenerates to zero propagation delay.
+    pub fn client_segment(&self, client_share: f64) -> NetworkConfig {
+        let share = clamp_share(client_share);
+        NetworkConfig {
+            min_rtt: SimDuration::from_secs_f64(self.min_rtt.as_secs_f64() * share),
+            ..self.clone()
+        }
+    }
+
+    /// The origin-side path segment of an edge topology: the backbone
+    /// between the edge node and the origins. Well provisioned —
+    /// `backbone_bps` in both directions, zero random loss, the
+    /// remaining `1 - client_share` of the minimum RTT, and the same
+    /// queue budget as the access network.
+    pub fn origin_segment(&self, client_share: f64, backbone_bps: u64) -> NetworkConfig {
+        let share = clamp_share(client_share);
+        NetworkConfig {
+            up_bps: backbone_bps.max(1000),
+            down_bps: backbone_bps.max(1000),
+            min_rtt: SimDuration::from_secs_f64(self.min_rtt.as_secs_f64() * (1.0 - share)),
+            loss: 0.0,
+            ..self.clone()
+        }
+    }
+}
+
+/// Clamp an RTT share to `[0.05, 0.95]`; NaN falls back to 0.2 (the
+/// edge default) rather than poisoning the propagation delays.
+fn clamp_share(share: f64) -> f64 {
+    if share.is_nan() {
+        0.2
+    } else {
+        share.clamp(0.05, 0.95)
+    }
 }
 
 #[cfg(test)]
@@ -277,5 +318,37 @@ mod tests {
     fn names_match_paper() {
         let names: Vec<_> = NetworkKind::ALL.iter().map(|n| n.name()).collect();
         assert_eq!(names, vec!["DSL", "LTE", "DA2GC", "MSS"]);
+    }
+
+    #[test]
+    fn edge_segments_split_the_rtt() {
+        let net = NetworkKind::Dsl.config();
+        let client = net.client_segment(0.2);
+        let origin = net.origin_segment(0.2, 1_000_000_000);
+        // RTT shares sum to the end-to-end minimum RTT.
+        let total = client.min_rtt.as_secs_f64() + origin.min_rtt.as_secs_f64();
+        assert!((total - net.min_rtt.as_secs_f64()).abs() < 1e-12);
+        // The client segment keeps the access network's character …
+        assert_eq!(client.up_bps, net.up_bps);
+        assert_eq!(client.down_bps, net.down_bps);
+        assert_eq!(client.loss, net.loss);
+        assert_eq!(client.queue_ms, net.queue_ms);
+        // … while the backbone is clean and fat.
+        assert_eq!(origin.up_bps, 1_000_000_000);
+        assert_eq!(origin.down_bps, 1_000_000_000);
+        assert_eq!(origin.loss, 0.0);
+        assert!(client.checked().is_ok() && origin.checked().is_ok());
+    }
+
+    #[test]
+    fn edge_segment_share_is_clamped() {
+        let net = NetworkKind::Lte.config();
+        let rtt = net.min_rtt.as_secs_f64();
+        assert!(net.client_segment(0.0).min_rtt.as_secs_f64() >= 0.05 * rtt - 1e-12);
+        assert!(net.client_segment(2.0).min_rtt.as_secs_f64() <= 0.95 * rtt + 1e-12);
+        let nan = net.client_segment(f64::NAN);
+        assert!((nan.min_rtt.as_secs_f64() - 0.2 * rtt).abs() < 1e-12);
+        // A zero-bandwidth backbone is clamped to a usable floor.
+        assert!(net.origin_segment(0.2, 0).up_bps >= 1000);
     }
 }

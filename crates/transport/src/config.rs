@@ -1,4 +1,5 @@
-//! The five protocol stack configurations of the paper's Table 1.
+//! The five protocol stack configurations of the paper's Table 1,
+//! plus the three edge-deployment rows the `pq-edge` subsystem adds.
 //!
 //! | Protocol   | Description |
 //! |------------|-------------|
@@ -7,12 +8,21 @@
 //! | TCP+BBR    | TCP+, but with BBRv1 as congestion control |
 //! | QUIC       | Stock Google QUIC: IW32, pacing, Cubic |
 //! | QUIC+BBR   | QUIC, but with BBRv1 as congestion control |
+//! | QUIC-EDGE  | QUIC client leg terminated at an edge proxy; pooled H2/TCP to origins |
+//! | QUIC-MBX   | End-to-end QUIC through a transparent loss-recovery middlebox |
+//! | H2-EDGE    | H2-over-TCP+ client leg terminated at the edge proxy |
+//!
+//! The edge rows are *appended* after the Table-1 five: `Protocol`
+//! derives `Ord`, and the canonical grid / study iteration order is
+//! the sorted declaration order, so the baseline study digest of the
+//! five-stack grid is bit-for-bit unchanged by their existence.
 
 use crate::cc::CcAlgorithm;
 use crate::wire::{QUIC_MSS, TCP_MSS};
 use pq_sim::NetworkConfig;
 
-/// Which of the five stacks (Table 1) a connection runs.
+/// Which stack a connection runs: the five Table-1 rows, plus the
+/// three edge-deployment stacks (see module docs).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Protocol {
     /// Stock Linux TCP: IW10, Cubic, no pacing, default buffers,
@@ -27,6 +37,16 @@ pub enum Protocol {
     Quic,
     /// gQUIC with BBRv1.
     QuicBbr,
+    // --- edge stacks (appended: keep the Ord of the Table-1 five) ---
+    /// gQUIC from the browser, terminated at an in-sim edge proxy that
+    /// speaks pooled H2/TCP+ to replica origins over the backbone.
+    QuicEdge,
+    /// End-to-end gQUIC with a transparent middlebox on the access
+    /// link doing PEMI-style early retransmit from a packet buffer.
+    QuicMbx,
+    /// H2-over-TCP+ from the browser, terminated at the same edge
+    /// proxy (the all-TCP edge deployment).
+    H2Edge,
 }
 
 impl Protocol {
@@ -39,6 +59,21 @@ impl Protocol {
         Protocol::QuicBbr,
     ];
 
+    /// The three edge stacks, in declaration order.
+    pub const EDGE: [Protocol; 3] = [Protocol::QuicEdge, Protocol::QuicMbx, Protocol::H2Edge];
+
+    /// All eight stacks: Table 1 followed by the edge rows.
+    pub const ALL_WITH_EDGE: [Protocol; 8] = [
+        Protocol::Tcp,
+        Protocol::TcpPlus,
+        Protocol::TcpPlusBbr,
+        Protocol::Quic,
+        Protocol::QuicBbr,
+        Protocol::QuicEdge,
+        Protocol::QuicMbx,
+        Protocol::H2Edge,
+    ];
+
     /// The A/B study's four protocol pairings (Figure 4's colour
     /// groups): TCP+ vs TCP, QUIC vs TCP, QUIC vs TCP+,
     /// QUIC+BBR vs TCP+BBR.
@@ -49,7 +84,27 @@ impl Protocol {
         (Protocol::QuicBbr, Protocol::TcpPlusBbr),
     ];
 
-    /// Paper label.
+    /// The edge extension of Figure 4: each edge stack against the
+    /// closest Table-1 stack it wraps, answering "do users notice the
+    /// edge?" in isolation from the transport choice.
+    pub const EDGE_AB_PAIRS: [(Protocol, Protocol); 3] = [
+        (Protocol::QuicEdge, Protocol::Quic),
+        (Protocol::QuicMbx, Protocol::Quic),
+        (Protocol::H2Edge, Protocol::TcpPlus),
+    ];
+
+    /// The A/B pairings (Table-1 plus edge) whose both members are in
+    /// `stacks`. With the default five-stack selection this is exactly
+    /// [`Protocol::AB_PAIRS`], preserving the baseline study digest.
+    pub fn pairs_for(stacks: &[Protocol]) -> Vec<(Protocol, Protocol)> {
+        Protocol::AB_PAIRS
+            .into_iter()
+            .chain(Protocol::EDGE_AB_PAIRS)
+            .filter(|(a, b)| stacks.contains(a) && stacks.contains(b))
+            .collect()
+    }
+
+    /// Paper label (edge stacks follow the same uppercase convention).
     pub fn label(self) -> &'static str {
         match self {
             Protocol::Tcp => "TCP",
@@ -57,12 +112,47 @@ impl Protocol {
             Protocol::TcpPlusBbr => "TCP+BBR",
             Protocol::Quic => "QUIC",
             Protocol::QuicBbr => "QUIC+BBR",
+            Protocol::QuicEdge => "QUIC-EDGE",
+            Protocol::QuicMbx => "QUIC-MBX",
+            Protocol::H2Edge => "H2-EDGE",
         }
     }
 
-    /// True for the two QUIC variants.
+    /// Inverse of [`Protocol::label`] (used by the `PQ_STACKS` knob).
+    pub fn from_label(label: &str) -> Option<Protocol> {
+        Protocol::ALL_WITH_EDGE
+            .into_iter()
+            .find(|p| p.label() == label)
+    }
+
+    /// True when the client leg speaks QUIC (H3 object mapping, QUIC
+    /// wire format).
     pub fn is_quic(self) -> bool {
-        matches!(self, Protocol::Quic | Protocol::QuicBbr)
+        matches!(
+            self,
+            Protocol::Quic | Protocol::QuicBbr | Protocol::QuicEdge | Protocol::QuicMbx
+        )
+    }
+
+    /// True for any of the three edge stacks (loads take the split
+    /// client/origin path through `pq-web`'s edge loader).
+    pub fn is_edge(self) -> bool {
+        matches!(
+            self,
+            Protocol::QuicEdge | Protocol::QuicMbx | Protocol::H2Edge
+        )
+    }
+
+    /// True when the stack terminates the client connection at the
+    /// edge proxy (second connection leg with independent cc state).
+    pub fn is_proxied(self) -> bool {
+        matches!(self, Protocol::QuicEdge | Protocol::H2Edge)
+    }
+
+    /// True when a transparent middlebox interposes on the access link
+    /// without terminating the connection.
+    pub fn has_middlebox(self) -> bool {
+        matches!(self, Protocol::QuicMbx)
     }
 
     /// Congestion control algorithm (Table 1).
@@ -81,6 +171,10 @@ impl Protocol {
             Protocol::Tcp => (10, false, false, true),
             Protocol::TcpPlus | Protocol::TcpPlusBbr => (32, true, true, false),
             Protocol::Quic | Protocol::QuicBbr => (32, true, true, false),
+            // Edge client legs mirror the stack they wrap: stock gQUIC
+            // knobs for the QUIC legs, TCP+ knobs for H2-EDGE.
+            Protocol::QuicEdge | Protocol::QuicMbx => (32, true, true, false),
+            Protocol::H2Edge => (32, true, true, false),
         };
         // Stock buffer model: 128 KiB (a conservative mid-autotuning
         // value); tuned: at least 2×BDP ("we enlarge the send and
@@ -233,6 +327,82 @@ mod tests {
                 "QUIC+BBR vs. TCP+BBR"
             ]
         );
+    }
+
+    #[test]
+    fn edge_stacks_append_after_table1() {
+        // The Table-1 five keep their labels and declaration order …
+        let labels: Vec<_> = Protocol::ALL_WITH_EDGE.iter().map(|p| p.label()).collect();
+        assert_eq!(
+            labels,
+            vec![
+                "TCP",
+                "TCP+",
+                "TCP+BBR",
+                "QUIC",
+                "QUIC+BBR",
+                "QUIC-EDGE",
+                "QUIC-MBX",
+                "H2-EDGE"
+            ]
+        );
+        // … and every edge variant sorts after every Table-1 variant,
+        // so sorted protocol lists of five-stack grids are unchanged.
+        for table1 in Protocol::ALL {
+            for edge in Protocol::EDGE {
+                assert!(table1 < edge, "{table1} must sort before {edge}");
+            }
+        }
+    }
+
+    #[test]
+    fn edge_predicates() {
+        assert!(Protocol::QuicEdge.is_quic() && Protocol::QuicMbx.is_quic());
+        assert!(!Protocol::H2Edge.is_quic());
+        for p in Protocol::ALL {
+            assert!(!p.is_edge() && !p.is_proxied() && !p.has_middlebox(), "{p}");
+        }
+        assert!(Protocol::QuicEdge.is_proxied() && Protocol::H2Edge.is_proxied());
+        assert!(!Protocol::QuicMbx.is_proxied());
+        assert!(Protocol::QuicMbx.has_middlebox());
+    }
+
+    #[test]
+    fn from_label_round_trips() {
+        for p in Protocol::ALL_WITH_EDGE {
+            assert_eq!(Protocol::from_label(p.label()), Some(p));
+        }
+        assert_eq!(Protocol::from_label("SPDY"), None);
+    }
+
+    #[test]
+    fn pairs_for_default_matches_figure4() {
+        assert_eq!(Protocol::pairs_for(&Protocol::ALL), Protocol::AB_PAIRS);
+        let with_edge = Protocol::pairs_for(&Protocol::ALL_WITH_EDGE);
+        assert_eq!(with_edge.len(), 7);
+        assert_eq!(&with_edge[..4], &Protocol::AB_PAIRS);
+        assert_eq!(&with_edge[4..], &Protocol::EDGE_AB_PAIRS);
+        // A selection missing the partner drops the pair.
+        let only_edge = Protocol::pairs_for(&[Protocol::QuicEdge, Protocol::Quic]);
+        assert_eq!(only_edge, vec![(Protocol::QuicEdge, Protocol::Quic)]);
+    }
+
+    #[test]
+    fn edge_configs_mirror_their_base_stacks() {
+        let net = NetworkKind::Dsl.config();
+        for p in [Protocol::QuicEdge, Protocol::QuicMbx] {
+            let c = p.config(&net);
+            let base = Protocol::Quic.config(&net);
+            assert_eq!(c.initial_window_segments, base.initial_window_segments);
+            assert_eq!(c.mss, base.mss);
+            assert_eq!(c.max_sack_blocks, base.max_sack_blocks);
+            assert_eq!(c.cc, base.cc);
+        }
+        let h2e = Protocol::H2Edge.config(&net);
+        let base = Protocol::TcpPlus.config(&net);
+        assert_eq!(h2e.initial_window_segments, base.initial_window_segments);
+        assert_eq!(h2e.mss, base.mss);
+        assert_eq!(h2e.max_sack_blocks, base.max_sack_blocks);
     }
 
     #[test]

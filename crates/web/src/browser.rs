@@ -13,6 +13,7 @@ use crate::http2::H2Mux;
 use crate::http3::H3Map;
 use crate::object::{ObjectId, WebObject};
 use crate::website::Website;
+use pq_edge::{Dispatch, EdgeConfig, EdgePools, Middlebox};
 use pq_metrics::{MetricSet, Recording, VisualTimeline};
 use pq_obs::{ArgValue, Level};
 use pq_sim::{
@@ -31,6 +32,11 @@ const TID_PAGE: u32 = 0;
 const TID_CONN_BASE: u32 = 1;
 /// First web-object row.
 const TID_OBJ_BASE: u32 = 100;
+/// First proxy-leg (origin-side connection) row.
+const TID_LEG_BASE: u32 = 60;
+/// Offset distinguishing proxy-leg handshake fault keys and trace
+/// details from client-side connection indices.
+const LEG_KEY_BASE: u32 = 1000;
 
 /// HTTP version used over the TCP stacks (QUIC always uses its own
 /// stream mapping).
@@ -71,6 +77,12 @@ pub struct LoadOptions {
     /// `PQ_FAULTS`-driven harness installs the process-global plan and
     /// copies it in at the runner layer.
     pub faults: Option<std::sync::Arc<pq_fault::FaultPlan>>,
+    /// Edge-topology knobs for the edge stacks (`QUIC-EDGE`,
+    /// `QUIC-MBX`, `H2-EDGE`). `None` — the default — reads
+    /// `PQ_EDGE_*` from the environment at load entry. Ignored
+    /// entirely by the Table-1 stacks, which keep their single-link
+    /// topology bit-for-bit.
+    pub edge: Option<EdgeConfig>,
 }
 
 impl Default for LoadOptions {
@@ -84,6 +96,7 @@ impl Default for LoadOptions {
             processing_scale: 1.0,
             http_version: HttpVersion::Http2,
             faults: None,
+            edge: None,
         }
     }
 }
@@ -134,6 +147,19 @@ enum Ev {
     DeferredRequest(ObjectId),
     /// Style + first layout done: painting may start.
     GateOpen,
+    /// Transmission slot opened on the origin-segment uplink.
+    EdgeUpTx,
+    /// Transmission slot opened on the origin-segment downlink.
+    EdgeDownTx,
+    /// A packet crossed the origin segment (proxied modes: to/from a
+    /// proxy leg; middlebox mode: to the origin endpoint or back to
+    /// the junction).
+    EdgeDeliver(Direction, Packet<Wire>),
+    /// A proxy leg's transport timer expired.
+    EdgeWake(u32, u64),
+    /// The origin finished thinking about an object requested through
+    /// proxy leg `.0`.
+    EdgeRespond(u32, ObjectId),
 }
 
 enum Mux {
@@ -146,6 +172,47 @@ struct ConnState {
     conn: Connection,
     mux: Mux,
     wake_version: u64,
+}
+
+/// One origin-side proxy connection (always TCP+ carrying HTTP/2).
+/// The pool remembers which origin each leg serves; relay bridges
+/// carry the `(origin, leg)` pair they complete on.
+struct LegState {
+    conn: Connection,
+    mux: H2Mux,
+    wake_version: u64,
+}
+
+/// Relay state of one object flowing origin-leg → client-connection
+/// through the terminating proxy. Progress maps proportionally: the
+/// proxy has relayed `client_total · origin_got / origin_total` bytes
+/// onto the client-facing stream at any instant (cut-through, not
+/// store-and-forward).
+struct Bridge {
+    /// H2 stream bytes the origin response occupies on the leg.
+    origin_total: u64,
+    origin_got: u64,
+    /// Stream bytes the response occupies client-side (H3 or H2
+    /// framing, matching the client connection's mux).
+    client_total: u64,
+    client_written: u64,
+    leg: u32,
+    origin: u16,
+    fin_sent: bool,
+}
+
+/// Everything the edge stacks add to a page load: the origin path
+/// segment, the proxy's pooled legs and relay bridges, and the
+/// transparent middlebox. `None` on the Table-1 stacks — their event
+/// sequence is untouched.
+struct EdgeState {
+    o_up: Link<Wire>,
+    o_down: Link<Wire>,
+    leg_cfg: pq_transport::StackConfig,
+    legs: Vec<LegState>,
+    pools: EdgePools,
+    mbx: Option<Middlebox>,
+    bridges: BTreeMap<ObjectId, Bridge>,
 }
 
 struct Loader<'a> {
@@ -189,6 +256,8 @@ struct Loader<'a> {
     req_at: Vec<Option<SimTime>>,
     /// Per-load fault view (`None` = injection off).
     faults: Option<pq_fault::LoadFaults>,
+    /// Edge topology state (`None` on the Table-1 stacks).
+    edge: Option<EdgeState>,
 }
 
 /// Load `site` over `net` with `protocol`; `seed` drives every source
@@ -293,9 +362,22 @@ pub fn load_page_with_config(
         None
     };
 
+    // Edge stacks split the path at the junction: the client-side
+    // segment keeps the access link's character (bandwidth, loss,
+    // queue) over a fraction of the RTT, and a clean fat backbone
+    // segment covers the rest to the origin. Table-1 stacks keep the
+    // single end-to-end link untouched.
+    let edge_cfg = protocol
+        .is_edge()
+        .then(|| opts.edge.clone().unwrap_or_else(EdgeConfig::from_env));
+    let link_net = match &edge_cfg {
+        Some(ec) => net.client_segment(ec.client_rtt_share),
+        None => net.clone(),
+    };
+
     let mut q = EventQueue::new();
-    let mut up = Link::new(net.uplink(), rng.fork("uplink-loss"));
-    let mut down = Link::new(net.downlink(), rng.fork("downlink-loss"));
+    let mut up = Link::new(link_net.uplink(), rng.fork("uplink-loss"));
+    let mut down = Link::new(link_net.downlink(), rng.fork("downlink-loss"));
     if let Some(pid) = obs_pid {
         q.set_obs_track(pid, TID_PAGE);
         up.set_obs_track(pid, TID_PAGE, "uplink");
@@ -305,6 +387,31 @@ pub fn load_page_with_config(
         up.set_fault(f.link_fault("uplink"));
         down.set_fault(f.link_fault("downlink"));
     }
+
+    let edge = edge_cfg.map(|ec| {
+        let origin_net = net.origin_segment(ec.client_rtt_share, ec.backbone_bps);
+        let mut o_up = Link::new(origin_net.uplink(), rng.fork("origin-uplink-loss"));
+        let mut o_down = Link::new(origin_net.downlink(), rng.fork("origin-downlink-loss"));
+        if let Some(pid) = obs_pid {
+            o_up.set_obs_track(pid, TID_PAGE, "origin-uplink");
+            o_down.set_obs_track(pid, TID_PAGE, "origin-downlink");
+        }
+        // Fault clauses bind to each path segment independently: the
+        // origin segment has its own link-fault keys.
+        if let Some(f) = &faults {
+            o_up.set_fault(f.link_fault("origin-uplink"));
+            o_down.set_fault(f.link_fault("origin-downlink"));
+        }
+        EdgeState {
+            o_up,
+            o_down,
+            leg_cfg: Protocol::TcpPlus.config(&origin_net),
+            legs: Vec::new(),
+            pools: EdgePools::new(&ec, rng.fork("edge-pool")),
+            mbx: protocol.has_middlebox().then(|| Middlebox::new(&ec)),
+            bridges: BTreeMap::new(),
+        }
+    });
 
     let mut loader = Loader {
         site,
@@ -336,6 +443,7 @@ pub fn load_page_with_config(
         obs_pid,
         req_at: vec![None; n],
         faults,
+        edge,
     };
 
     let _load_span = pq_prof::span_dyn(|| format!("load:{}", protocol.label()));
@@ -355,6 +463,11 @@ fn ev_name(ev: &Ev) -> &'static str {
         Ev::Processed(..) => "event:process",
         Ev::DeferredRequest(..) => "event:defer",
         Ev::GateOpen => "event:gate",
+        Ev::EdgeUpTx => "event:edge-tx-up",
+        Ev::EdgeDownTx => "event:edge-tx-down",
+        Ev::EdgeDeliver(..) => "event:edge-arrival",
+        Ev::EdgeWake(..) => "event:edge-timer",
+        Ev::EdgeRespond(..) => "event:edge-respond",
     }
 }
 
@@ -397,7 +510,14 @@ impl<'a> Loader<'a> {
             self.request_object_h1(now, id);
             return;
         }
-        let origin = self.obj(id).origin.0;
+        // The terminating proxy fronts every origin behind one
+        // client-facing connection (CDN-style coalescing): the origin
+        // fan-out happens on the proxy's pooled legs instead.
+        let origin = if self.protocol.is_proxied() {
+            0
+        } else {
+            self.obj(id).origin.0
+        };
         let ci = match self.origin_conn.get(&origin) {
             Some(&ci) => ci,
             None => {
@@ -564,6 +684,22 @@ impl<'a> Loader<'a> {
     fn route_output(&mut self, now: SimTime, ci: u32, out: Output) {
         match out {
             Output::Send(dir, pkt) => {
+                // Middlebox topology: the server endpoint sits at the
+                // origin, so its downstream packets enter on the
+                // backbone segment (and reach the client via the
+                // junction). Client-side sends are unchanged.
+                if dir == Direction::Down && self.protocol.has_middlebox() {
+                    if let Some(edge) = self.edge.as_mut() {
+                        match edge.o_down.push(now, pkt) {
+                            PushOutcome::StartedTx(t) => self.q.schedule(t, Ev::EdgeDownTx),
+                            PushOutcome::TailDropped => {
+                                self.trace.record(now, TraceKind::TailDrop, 0);
+                            }
+                            PushOutcome::Queued => {}
+                        }
+                    }
+                    return;
+                }
                 let link = match dir {
                     Direction::Up => &mut self.up,
                     Direction::Down => &mut self.down,
@@ -604,6 +740,14 @@ impl<'a> Loader<'a> {
                     }
                 };
                 for obj in ready {
+                    // Proxied stacks: the "server" side of the client
+                    // connection is the proxy — no think time here;
+                    // the request continues on a pooled origin leg
+                    // (think happens at the real origin).
+                    if self.protocol.is_proxied() {
+                        self.edge_dispatch(now, obj);
+                        continue;
+                    }
                     // The baseline think-time draw always happens, so
                     // the jitter stream is identical with faults off.
                     let mut think = self.opts.think_base_ms
@@ -667,6 +811,267 @@ impl<'a> Loader<'a> {
             Output::Trace(kind, detail) => {
                 self.trace.record(now, kind, detail);
             }
+        }
+    }
+
+    /// Route a request that reached the proxy onto a pooled origin
+    /// leg: reuse an existing H2 connection, or open a new one to the
+    /// replica the least-outstanding balancer picked.
+    fn edge_dispatch(&mut self, now: SimTime, obj: ObjectId) {
+        let _sp = pq_prof::span("edge:dispatch");
+        let origin = self.obj(obj).origin.0;
+        let Some(edge) = self.edge.as_mut() else {
+            return;
+        };
+        // Evicted legs simply go quiescent: the pool stops routing to
+        // them and their transport state has nothing left to send.
+        let outcome = edge.pools.dispatch(origin, now);
+        let li = match outcome.action {
+            Dispatch::Reuse(leg) => leg,
+            Dispatch::Open { replica } => {
+                let li = self.open_leg(now, origin);
+                if let Some(edge) = self.edge.as_mut() {
+                    edge.pools.opened(origin, replica, li, now);
+                }
+                li
+            }
+        };
+        let Some(edge) = self.edge.as_mut() else {
+            return;
+        };
+        let Some(leg) = edge.legs.get_mut(li as usize) else {
+            return;
+        };
+        if let Connection::Tcp(c) = &mut leg.conn {
+            leg.mux.request(c, now, obj);
+        }
+        self.pump_leg(now, li);
+    }
+
+    /// Open a new origin-side proxy leg (TCP+ carrying HTTP/2).
+    fn open_leg(&mut self, now: SimTime, origin: u16) -> u32 {
+        let Some(edge) = self.edge.as_mut() else {
+            return 0;
+        };
+        let li = edge.legs.len() as u32;
+        let mut conn = Connection::open(ConnId(li), edge.leg_cfg.clone(), now);
+        // Legs have their own handshake-fault key space, offset past
+        // the client connections' — the satellite case "hs-drop
+        // through the proxy" exercises both sides independently.
+        let hs_lost = self
+            .faults
+            .as_ref()
+            .is_some_and(|f| f.handshake_flight_lost(LEG_KEY_BASE + li));
+        let dropped = if hs_lost {
+            conn.discard_pending_sends()
+        } else {
+            0
+        };
+        if let Some(pid) = self.obs_pid {
+            let tid = TID_LEG_BASE + li;
+            conn.set_obs_track(pid, tid);
+            pq_obs::tracer().name_track(pid, tid, &format!("leg {li} (H2 → origin {origin})"));
+        }
+        edge.legs.push(LegState {
+            conn,
+            mux: H2Mux::new(),
+            wake_version: 0,
+        });
+        if dropped > 0 {
+            self.note_fault(now, "handshake flight lost", u64::from(LEG_KEY_BASE + li));
+        }
+        li
+    }
+
+    /// Drain a proxy leg's outputs (mirror of [`Loader::pump`] for the
+    /// origin segment) and reschedule its wakeup.
+    fn pump_leg(&mut self, now: SimTime, li: u32) {
+        loop {
+            let Some(edge) = self.edge.as_mut() else {
+                return;
+            };
+            let Some(leg) = edge.legs.get_mut(li as usize) else {
+                return;
+            };
+            let outputs = leg.conn.take_outputs();
+            if outputs.is_empty() {
+                let more = if let Connection::Tcp(c) = &mut leg.conn {
+                    let before = c.server_backlog();
+                    leg.mux.pump(c, now);
+                    c.server_backlog() != before
+                } else {
+                    false
+                };
+                if !more {
+                    break;
+                }
+                continue;
+            }
+            for out in outputs {
+                self.route_leg_output(now, li, out);
+            }
+        }
+        let Some(edge) = self.edge.as_mut() else {
+            return;
+        };
+        let Some(leg) = edge.legs.get_mut(li as usize) else {
+            return;
+        };
+        let at = leg.conn.poll_at();
+        if at != SimTime::MAX {
+            leg.wake_version += 1;
+            let version = leg.wake_version;
+            self.q.schedule(at.max(now), Ev::EdgeWake(li, version));
+        }
+    }
+
+    fn route_leg_output(&mut self, now: SimTime, li: u32, out: Output) {
+        match out {
+            Output::Send(dir, pkt) => {
+                let Some(edge) = self.edge.as_mut() else {
+                    return;
+                };
+                let (link, ev) = match dir {
+                    Direction::Up => (&mut edge.o_up, Ev::EdgeUpTx),
+                    Direction::Down => (&mut edge.o_down, Ev::EdgeDownTx),
+                };
+                match link.push(now, pkt) {
+                    PushOutcome::StartedTx(t) => self.q.schedule(t, ev),
+                    PushOutcome::TailDropped => {
+                        self.trace.record(now, TraceKind::TailDrop, 0);
+                    }
+                    PushOutcome::Queued => {}
+                }
+            }
+            Output::HandshakeDone => {
+                self.trace
+                    .record(now, TraceKind::HandshakeDone, u64::from(LEG_KEY_BASE + li));
+            }
+            Output::ServerStreamProgress { delivered, .. } => {
+                // The request reached the real origin: think, then
+                // respond on this leg.
+                let ready = match self.edge.as_mut().and_then(|e| e.legs.get_mut(li as usize)) {
+                    Some(leg) => leg.mux.on_server_delivered(delivered),
+                    None => Vec::new(),
+                };
+                for obj in ready {
+                    let mut think = self.opts.think_base_ms
+                        + self.think_rng.exponential(self.opts.think_jitter_ms);
+                    let stall = self.faults.as_ref().and_then(|f| f.server_stall_ms(obj.0));
+                    if let Some(extra) = stall {
+                        think += extra;
+                        self.note_fault(now, "server stall", u64::from(obj.0));
+                    }
+                    self.q.schedule(
+                        now + SimDuration::from_secs_f64(think / 1e3),
+                        Ev::EdgeRespond(li, obj),
+                    );
+                }
+            }
+            Output::ClientStreamProgress { delivered, .. } => {
+                // Origin bytes arrived back at the proxy: relay them
+                // proportionally onto the client-facing stream.
+                let progress = match self.edge.as_mut().and_then(|e| e.legs.get_mut(li as usize)) {
+                    Some(leg) => leg.mux.on_client_delivered(delivered),
+                    None => Vec::new(),
+                };
+                for p in progress {
+                    self.bridge_advance(now, p.object, p.new_bytes);
+                }
+            }
+            Output::Trace(kind, detail) => {
+                self.trace.record(now, kind, detail);
+            }
+        }
+    }
+
+    /// `new_bytes` of `obj`'s origin response reached the proxy:
+    /// advance the relay and write the proportional share onto the
+    /// client-facing connection (always connection 0 in proxied mode).
+    fn bridge_advance(&mut self, now: SimTime, obj: ObjectId, new_bytes: u64) {
+        let Some(edge) = self.edge.as_mut() else {
+            return;
+        };
+        let Some(b) = edge.bridges.get_mut(&obj) else {
+            return;
+        };
+        b.origin_got = (b.origin_got + new_bytes).min(b.origin_total);
+        let target = ((u128::from(b.client_total) * u128::from(b.origin_got))
+            / u128::from(b.origin_total.max(1))) as u64;
+        let delta = target.saturating_sub(b.client_written);
+        let fin = b.origin_got >= b.origin_total;
+        let send_fin = fin && !b.fin_sent;
+        if delta == 0 && !send_fin {
+            return;
+        }
+        b.client_written += delta;
+        if send_fin {
+            b.fin_sent = true;
+        }
+        let (leg, origin) = (b.leg, b.origin);
+        let Some(state) = self.conns.get_mut(0) else {
+            return;
+        };
+        match &mut state.mux {
+            Mux::H3(m) => {
+                if let (Connection::Quic(c), Some(sid)) = (&mut state.conn, m.stream_for(obj)) {
+                    c.server_write(now, sid, delta, send_fin);
+                }
+            }
+            Mux::H2(m) => {
+                if let Connection::Tcp(c) = &mut state.conn {
+                    m.respond_raw(c, now, obj, delta);
+                }
+            }
+            Mux::H1(_) => {}
+        }
+        if send_fin {
+            if let Some(edge) = self.edge.as_mut() {
+                edge.pools.complete(origin, leg, now);
+            }
+        }
+        self.pump(now, 0);
+    }
+
+    /// A client packet reached the junction (middlebox mode): let the
+    /// middlebox read its ACK ranges — re-injecting any inferred-lost
+    /// buffered packets onto the access downlink — then forward it
+    /// onto the backbone toward the origin.
+    fn mbx_junction_up(&mut self, now: SimTime, pkt: Packet<Wire>) {
+        let _sp = pq_prof::span("edge:mbx");
+        let retx = match self.edge.as_mut().and_then(|e| e.mbx.as_mut()) {
+            Some(m) => m.on_uplink(now, &pkt),
+            None => Vec::new(),
+        };
+        for r in retx {
+            self.trace.record(now, TraceKind::Retransmit, 0);
+            match self.down.push(now, r) {
+                PushOutcome::StartedTx(t) => self.q.schedule(t, Ev::DownTx),
+                PushOutcome::TailDropped => self.trace.record(now, TraceKind::TailDrop, 0),
+                PushOutcome::Queued => {}
+            }
+        }
+        if let Some(edge) = self.edge.as_mut() {
+            match edge.o_up.push(now, pkt) {
+                PushOutcome::StartedTx(t) => self.q.schedule(t, Ev::EdgeUpTx),
+                PushOutcome::TailDropped => self.trace.record(now, TraceKind::TailDrop, 0),
+                PushOutcome::Queued => {}
+            }
+        }
+    }
+
+    /// An origin packet reached the junction (middlebox mode): buffer
+    /// it for possible early retransmit, then forward it down the
+    /// access link to the client.
+    fn mbx_junction_down(&mut self, now: SimTime, pkt: Packet<Wire>) {
+        let _sp = pq_prof::span("edge:mbx");
+        if let Some(m) = self.edge.as_mut().and_then(|e| e.mbx.as_mut()) {
+            m.on_downlink(now, &pkt);
+        }
+        match self.down.push(now, pkt) {
+            PushOutcome::StartedTx(t) => self.q.schedule(t, Ev::DownTx),
+            PushOutcome::TailDropped => self.trace.record(now, TraceKind::TailDrop, 0),
+            PushOutcome::Queued => {}
         }
     }
 
@@ -850,6 +1255,26 @@ impl<'a> Loader<'a> {
         reg.observe(&format!("web.fvc_ms{{proto=\"{label}\"}}"), metrics.fvc_ms);
         reg.observe(&format!("web.si_ms{{proto=\"{label}\"}}"), metrics.si_ms);
 
+        if let Some(edge) = &self.edge {
+            let st = edge.pools.stats();
+            reg.counter_add("edge.conns_opened", st.opened);
+            reg.counter_add("edge.conns_reused", st.reused);
+            reg.counter_add("edge.conns_evicted", st.evicted);
+            if let Some(mbx) = &edge.mbx {
+                reg.counter_add("edge.mbx_early_retx", mbx.early_retransmits());
+                if let Some((client_ms, origin_ms)) = mbx.rtt_split_ms() {
+                    reg.observe(
+                        &format!("edge.client_rtt_ms{{proto=\"{label}\"}}"),
+                        client_ms,
+                    );
+                    reg.observe(
+                        &format!("edge.origin_rtt_ms{{proto=\"{label}\"}}"),
+                        origin_ms,
+                    );
+                }
+            }
+        }
+
         let Some(pid) = self.obs_pid else { return };
         if !pq_obs::enabled(Level::Info) {
             return;
@@ -910,6 +1335,12 @@ impl<'a> Loader<'a> {
                     }
                 }
                 Ev::Deliver(dir, pkt) => {
+                    // Middlebox mode: the client-segment uplink ends
+                    // at the junction, not at the server.
+                    if dir == Direction::Up && self.protocol.has_middlebox() {
+                        self.mbx_junction_up(now, pkt);
+                        continue;
+                    }
                     let ci = pkt.conn.0;
                     if let Some(state) = self.conns.get_mut(ci as usize) {
                         state.conn.on_packet(now, &pkt.payload, dir);
@@ -972,6 +1403,108 @@ impl<'a> Loader<'a> {
                     }
                     self.pump(now, ci);
                 }
+                Ev::EdgeUpTx => {
+                    let txd = match self.edge.as_mut() {
+                        Some(edge) => edge.o_up.on_tx_done(now),
+                        None => continue,
+                    };
+                    if let Some((at, pkt)) = txd.delivery {
+                        self.q.schedule(at, Ev::EdgeDeliver(Direction::Up, pkt));
+                    } else {
+                        self.trace.record(now, TraceKind::RandomLoss, 0);
+                    }
+                    if let Some(next) = txd.next_tx_done {
+                        self.q.schedule(next, Ev::EdgeUpTx);
+                    }
+                }
+                Ev::EdgeDownTx => {
+                    let txd = match self.edge.as_mut() {
+                        Some(edge) => edge.o_down.on_tx_done(now),
+                        None => continue,
+                    };
+                    if let Some((at, pkt)) = txd.delivery {
+                        self.q.schedule(at, Ev::EdgeDeliver(Direction::Down, pkt));
+                    } else {
+                        self.trace.record(now, TraceKind::RandomLoss, 0);
+                    }
+                    if let Some(next) = txd.next_tx_done {
+                        self.q.schedule(next, Ev::EdgeDownTx);
+                    }
+                }
+                Ev::EdgeDeliver(dir, pkt) => {
+                    if self.protocol.has_middlebox() {
+                        // End-to-end connections: upstream packets
+                        // complete their trip to the origin endpoint;
+                        // downstream ones reach the junction.
+                        match dir {
+                            Direction::Up => {
+                                let ci = pkt.conn.0;
+                                if let Some(state) = self.conns.get_mut(ci as usize) {
+                                    state.conn.on_packet(now, &pkt.payload, dir);
+                                    self.pump(now, ci);
+                                }
+                            }
+                            Direction::Down => self.mbx_junction_down(now, pkt),
+                        }
+                    } else {
+                        // Proxied: the origin segment carries leg
+                        // traffic in both directions.
+                        let li = pkt.conn.0;
+                        if let Some(leg) =
+                            self.edge.as_mut().and_then(|e| e.legs.get_mut(li as usize))
+                        {
+                            leg.conn.on_packet(now, &pkt.payload, dir);
+                            self.pump_leg(now, li);
+                        }
+                    }
+                }
+                Ev::EdgeWake(li, version) => {
+                    let woke = match self.edge.as_mut().and_then(|e| e.legs.get_mut(li as usize)) {
+                        Some(leg) if leg.wake_version == version => {
+                            leg.conn.on_wake(now);
+                            true
+                        }
+                        _ => false,
+                    };
+                    if woke {
+                        self.pump_leg(now, li);
+                    }
+                }
+                Ev::EdgeRespond(li, obj) => {
+                    let mut body = self.obj(obj).size;
+                    let trunc = self.faults.as_ref().and_then(|f| f.truncate(obj.0));
+                    if let Some(frac) = trunc {
+                        body = ((body as f64 * frac) as u64).min(body.saturating_sub(1));
+                        self.note_fault(now, "truncated response", u64::from(obj.0));
+                    }
+                    let client_total = if self.protocol.is_quic() {
+                        crate::http3::RESPONSE_HEADER + body
+                    } else {
+                        H2Mux::response_stream_bytes(body)
+                    };
+                    let origin = self.obj(obj).origin.0;
+                    let Some(edge) = self.edge.as_mut() else {
+                        continue;
+                    };
+                    edge.bridges.insert(
+                        obj,
+                        Bridge {
+                            origin_total: H2Mux::response_stream_bytes(body),
+                            origin_got: 0,
+                            client_total,
+                            client_written: 0,
+                            leg: li,
+                            origin,
+                            fin_sent: false,
+                        },
+                    );
+                    if let Some(leg) = edge.legs.get_mut(li as usize) {
+                        if let Connection::Tcp(c) = &mut leg.conn {
+                            leg.mux.respond(c, now, obj, body);
+                        }
+                    }
+                    self.pump_leg(now, li);
+                }
             }
         }
 
@@ -992,8 +1525,11 @@ impl<'a> Loader<'a> {
             recording,
             complete,
             plt,
-            retransmits: self.conns.iter().map(|c| c.conn.retransmits()).sum(),
-            connections: self.conns.len() as u32,
+            retransmits: self.conns.iter().map(|c| c.conn.retransmits()).sum::<u64>()
+                + self.edge.as_ref().map_or(0, |e| {
+                    e.legs.iter().map(|l| l.conn.retransmits()).sum::<u64>()
+                }),
+            connections: (self.conns.len() + self.edge.as_ref().map_or(0, |e| e.legs.len())) as u32,
             object_done: self.done_at,
             trace: self.trace,
             timeline: self.timeline,

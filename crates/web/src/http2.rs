@@ -109,6 +109,29 @@ impl H2Mux {
         self.pump(conn, now);
     }
 
+    /// Streaming (proxy) entry: enqueue `stream_bytes` raw response
+    /// bytes for `object` as they arrive from upstream. Unlike
+    /// [`H2Mux::respond`] the bytes are pre-framed — the caller
+    /// accounts for header and frame overhead — so totals must sum to
+    /// [`H2Mux::response_stream_bytes`] of the body for the client to
+    /// see the object complete.
+    pub fn respond_raw(
+        &mut self,
+        conn: &mut TcpConnection,
+        now: SimTime,
+        object: ObjectId,
+        stream_bytes: u64,
+    ) {
+        if stream_bytes == 0 {
+            return;
+        }
+        self.ready.push_back(PendingResponse {
+            object,
+            remaining: stream_bytes,
+        });
+        self.pump(conn, now);
+    }
+
     /// Commit response bytes to the transport while it is hungry,
     /// interleaving ready responses in frame-sized chunks.
     pub fn pump(&mut self, conn: &mut TcpConnection, now: SimTime) {

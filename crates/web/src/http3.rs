@@ -81,6 +81,14 @@ impl H3Map {
         conn.server_write(now, StreamId(sid), RESPONSE_HEADER + body, true);
     }
 
+    /// The stream carrying `object`'s response, if a request was
+    /// issued. The edge proxy uses this to relay origin bytes onto the
+    /// client-facing stream directly (bypassing [`H3Map::respond`],
+    /// which models a local server application).
+    pub fn stream_for(&self, object: ObjectId) -> Option<StreamId> {
+        self.by_object.get(&object).copied().map(StreamId)
+    }
+
     /// Translate client-side stream delivery into object progress.
     pub fn on_client_delivered(
         &self,

@@ -27,3 +27,5 @@ pub use website::{SiteSpec, Website};
 
 #[cfg(test)]
 mod browser_tests;
+#[cfg(test)]
+mod edge_tests;

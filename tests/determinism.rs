@@ -156,6 +156,74 @@ fn study_digest_identical_with_profiling_on_and_off() {
     }
 }
 
+/// The edge stacks (terminating proxy + middlebox) ride the same
+/// determinism contract: a grid containing all three, studied against
+/// their Table-1 partners, must be bit-identical at any worker count.
+#[test]
+fn edge_study_bit_identical_across_jobs_1_4() {
+    let _g = JOBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let sites = small_sites();
+    let mut stacks = vec![Protocol::Quic, Protocol::TcpPlus];
+    stacks.extend(Protocol::EDGE);
+    stacks.sort();
+    let pairs = Protocol::pairs_for(&stacks);
+    let pipeline = || {
+        let stimuli = StimulusSet::build(&sites, &[NetworkKind::Dsl], &stacks, 2, 1910);
+        let data = perceiving_quic::study::run_study_with(&stimuli, &pairs, &stacks, 1910);
+        (stimuli, data)
+    };
+    let (serial_stim, serial_data) = with_jobs(1, pipeline);
+    let (par_stim, par_data) = with_jobs(4, pipeline);
+    assert_stimuli_identical(&serial_stim, &par_stim);
+    assert_studies_identical(&serial_data, &par_data);
+    assert_eq!(
+        pq_bench::manifest::study_digest(&serial_data),
+        pq_bench::manifest::study_digest(&par_data),
+    );
+}
+
+/// QUIC-MBX regression pin: the transparent middlebox's early
+/// retransmits and RTT split are pure functions of derived seeds, so
+/// this exact digest must hold at every worker count. A change here
+/// means middlebox behaviour (or its RNG keying) changed — update the
+/// constant only with a matching CHANGES.md entry.
+#[test]
+fn quic_mbx_digest_is_pinned_across_jobs_1_2_8() {
+    let _g = JOBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let sites = small_sites();
+    let stacks = {
+        let mut s = vec![Protocol::Quic, Protocol::QuicMbx];
+        s.sort();
+        s
+    };
+    let pairs = Protocol::pairs_for(&stacks);
+    let digest = || {
+        let stimuli = StimulusSet::build(
+            &sites,
+            &[NetworkKind::Dsl, NetworkKind::Da2gc],
+            &stacks,
+            2,
+            77,
+        );
+        pq_bench::manifest::study_digest(&perceiving_quic::study::run_study_with(
+            &stimuli, &pairs, &stacks, 9,
+        ))
+    };
+    let mut digests = Vec::new();
+    for jobs in [1usize, 2, 8] {
+        digests.push((jobs, with_jobs(jobs, digest)));
+    }
+    for (jobs, d) in &digests {
+        assert_eq!(
+            *d, QUIC_MBX_PINNED_DIGEST,
+            "QUIC-MBX digest moved at jobs={jobs}: {d:016x}"
+        );
+    }
+}
+
+/// See [`quic_mbx_digest_is_pinned_across_jobs_1_2_8`].
+const QUIC_MBX_PINNED_DIGEST: u64 = 0xbef6_895b_e3c4_5ff6;
+
 #[test]
 fn population_bit_identical_across_jobs_1_2_8() {
     let _g = JOBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());

@@ -191,6 +191,92 @@ fn handshake_flight_loss_recovers_on_every_stack() {
 }
 
 #[test]
+fn handshake_flight_loss_recovers_through_the_proxy() {
+    // hs:p=1 drops the first client flight of *every* connection —
+    // the browser's H3 connection to the proxy AND each H2 leg the
+    // proxy opens towards the origins (the clauses apply independently
+    // per path segment). Both tiers must retransmit their way back.
+    let faults = plan("hs:p=1");
+    let net = NetworkKind::Dsl.config();
+    let site = web::site("gov.uk").unwrap();
+    for proto in [Protocol::QuicEdge, Protocol::H2Edge] {
+        let opts = LoadOptions {
+            horizon: SimDuration::from_secs(600),
+            faults: Some(faults.clone()),
+            ..LoadOptions::default()
+        };
+        let r = load_page(&site, &net, proto, 23, &opts);
+        assert!(
+            r.complete,
+            "{}: lost handshake flight never recovered through the proxy",
+            proto.label()
+        );
+        assert!(r.metrics.well_ordered(), "{}", proto.label());
+        let clean = load_page(
+            &site,
+            &net,
+            proto,
+            23,
+            &LoadOptions {
+                horizon: SimDuration::from_secs(600),
+                ..LoadOptions::default()
+            },
+        );
+        assert!(
+            r.metrics.plt_ms > clean.metrics.plt_ms,
+            "{}: dropped flights should cost time ({} !> {})",
+            proto.label(),
+            r.metrics.plt_ms,
+            clean.metrics.plt_ms
+        );
+    }
+}
+
+#[test]
+fn faulted_quic_edge_study_digest_identical_across_jobs_1_4() {
+    // The chaos contract extends to the proxy stack: a faulted
+    // QUIC-EDGE grid (plus its A/B partner) must produce the same
+    // study digest at PQ_JOBS=1 and 4 — edge pool decisions, leg
+    // handshake drops and burst loss are all keyed by derived seeds,
+    // never by worker interleaving.
+    let spec = "seed=5;gel:pgb=0.02,pbg=0.3,bad=0.35;hs:p=0.2;stall:p=0.05,ms=400";
+    let sites = vec![
+        web::site("apache.org").unwrap(),
+        web::site("wikipedia.org").unwrap(),
+    ];
+    let stacks = {
+        let mut s = vec![Protocol::Quic, Protocol::QuicEdge];
+        s.sort();
+        s
+    };
+    let pairs = perceiving_quic::transport::Protocol::pairs_for(&stacks);
+    let pipeline = |jobs| {
+        perceiving_quic::par::set_jobs(Some(jobs));
+        let set = StimulusSet::build_with_faults(
+            &sites,
+            &[NetworkKind::Dsl, NetworkKind::Lte],
+            &stacks,
+            2,
+            13,
+            Some(plan(spec)),
+        );
+        let digest = pq_bench::manifest::study_digest(&perceiving_quic::study::run_study_with(
+            &set, &pairs, &stacks, 13,
+        ));
+        perceiving_quic::par::set_jobs(None);
+        (set, digest)
+    };
+    let (serial_set, serial_digest) = pipeline(1);
+    let (par_set, par_digest) = pipeline(4);
+    assert_eq!(serial_set.quarantined(), par_set.quarantined());
+    assert_eq!(serial_set.runs_retried(), par_set.runs_retried());
+    assert_eq!(
+        serial_digest, par_digest,
+        "faulted QUIC-EDGE digest diverged across worker counts"
+    );
+}
+
+#[test]
 fn grid_cells_complete_or_quarantine_under_faults() {
     // Moderate fault mix over a small grid: every cell must either
     // survive (valid stimulus present) or be quarantined — never lost
