@@ -122,7 +122,7 @@ fn main() {
         .with("ab_votes", ab)
         .with("rating_votes", ratings);
 
-    std::fs::write(&path, doc.to_pretty()).expect("write output file");
+    pq_ckpt::atomic_write(&path, doc.to_pretty().as_bytes()).expect("write output file");
     eprintln!(
         "[export] wrote {path}: {} A/B votes, {} ratings, {} stimuli",
         e.data.ab.len(),

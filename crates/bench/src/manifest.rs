@@ -217,6 +217,19 @@ pub struct Manifest {
     /// Grid cells that exhausted their retry budget and were removed;
     /// the studies and figures ran on the surviving cells.
     pub cells_quarantined: Vec<QuarantineEntry>,
+    /// `true` when the run was interrupted (SIGINT/SIGTERM) after
+    /// checkpointing its completed cells: the journal survives and a
+    /// `PQ_RESUME=1` rerun picks up where this one stopped. Such a
+    /// manifest is a progress report, never a comparison baseline.
+    pub resumable: bool,
+    /// Grid cells restored from the write-ahead journal instead of
+    /// rebuilt (0 on a fresh run).
+    pub resumed_from_cells: u64,
+    /// Total records in the cell journal at collection time (replayed
+    /// + written this run; 0 when no journal was open).
+    pub journal_records: u64,
+    /// Cells quarantined by the `PQ_CELL_TIMEOUT_MS` watchdog.
+    pub cells_timed_out: u64,
     /// Total grandfathered findings in the committed `pq-lint.baseline`
     /// at run time. The baseline only shrinks, so re-anchors can watch
     /// the static-analysis debt pay down across recorded runs.
@@ -305,6 +318,14 @@ impl Manifest {
                     attempts: q.attempts,
                 })
                 .collect(),
+            resumable: false,
+            resumed_from_cells: e.stimuli.resumed_cells(),
+            journal_records: if pq_ckpt::journal_active() {
+                pq_ckpt::replayed_count() + pq_ckpt::records_written()
+            } else {
+                0
+            },
+            cells_timed_out: e.stimuli.cells_timed_out(),
             lint_baseline_count: pq_lint::Baseline::load(std::path::Path::new("pq-lint.baseline"))
                 .map(|b| b.total() as u64)
                 .unwrap_or(0),
@@ -436,6 +457,10 @@ impl Manifest {
                     })
                     .collect::<Vec<_>>(),
             )
+            .with("resumable", self.resumable)
+            .with("resumed_from_cells", self.resumed_from_cells)
+            .with("journal_records", self.journal_records)
+            .with("cells_timed_out", self.cells_timed_out)
             .with("lint_baseline_count", self.lint_baseline_count);
         if let Some(a) = &self.alloc {
             out.set("alloc", alloc_json(a));
@@ -538,6 +563,15 @@ impl Manifest {
                     })
                 })
                 .collect::<Option<Vec<_>>>()?,
+            // Crash-safety fields postdate the first recorded
+            // manifests; missing keys decode as the fresh-run
+            // defaults so old baselines stay parseable.
+            resumable: v.get("resumable").map_or(Some(false), |b| b.as_bool())?,
+            resumed_from_cells: v
+                .get("resumed_from_cells")
+                .map_or(Some(0), |n| n.as_u64())?,
+            journal_records: v.get("journal_records").map_or(Some(0), |n| n.as_u64())?,
+            cells_timed_out: v.get("cells_timed_out").map_or(Some(0), |n| n.as_u64())?,
             lint_baseline_count: v.get("lint_baseline_count")?.as_u64()?,
             alloc: match v.get("alloc") {
                 None => None,
@@ -597,14 +631,11 @@ fn git_rev() -> String {
         .unwrap_or_else(|| "unknown".to_string())
 }
 
-/// Write any JSON value to `path`, creating parent directories.
+/// Write any JSON value to `path`, creating parent directories. Goes
+/// through pq-ckpt's `atomic_write` (temp + fsync + rename) so readers
+/// of `results/*` never observe a torn manifest.
 pub fn write_json(path: &str, v: &Value) -> std::io::Result<()> {
-    if let Some(parent) = std::path::Path::new(path).parent() {
-        if !parent.as_os_str().is_empty() {
-            std::fs::create_dir_all(parent)?;
-        }
-    }
-    std::fs::write(path, v.to_pretty())
+    pq_ckpt::atomic_write(path, v.to_pretty().as_bytes())
 }
 
 /// The `BENCH_obs.json` regression baseline: phase wall-times plus
@@ -678,6 +709,31 @@ pub fn bench_obs_json(timer: &PhaseTimer, scale: &str, seed: u64) -> Value {
             },
         )
         .with("pageloads", pageloads)
+        // Crash-safety accounting: zeros on a fresh un-journalled run,
+        // so the baseline shape is stable while resumed / watchdogged
+        // runs stay distinguishable in the perf trajectory.
+        .with(
+            "resumed_from_cells",
+            match reg.get("run.resumed_cells") {
+                Some(MetricSnapshot::Counter(v)) => v,
+                _ => 0,
+            },
+        )
+        .with(
+            "cells_timed_out",
+            match reg.get("run.cells_timed_out") {
+                Some(MetricSnapshot::Counter(v)) => v,
+                _ => 0,
+            },
+        )
+        .with(
+            "journal_records",
+            if pq_ckpt::journal_active() {
+                pq_ckpt::replayed_count() + pq_ckpt::records_written()
+            } else {
+                0
+            },
+        )
 }
 
 /// The `edge` block for `BENCH_obs.json`: pool and middlebox activity
@@ -749,6 +805,10 @@ mod tests {
                 reason: "incomplete load".into(),
                 attempts: 24,
             }],
+            resumable: true,
+            resumed_from_cells: 5,
+            journal_records: 21,
+            cells_timed_out: 2,
             lint_baseline_count: 99,
             alloc: Some(AllocReport {
                 total_allocs: 48_000_000,
@@ -810,6 +870,27 @@ mod tests {
         assert!(!text.contains("\"edge\""));
         let back = Manifest::from_json(&Value::parse(&text).expect("valid JSON")).expect("decodes");
         assert_eq!(m, back);
+    }
+
+    #[test]
+    fn manifest_without_ckpt_fields_decodes_with_defaults() {
+        // Manifests recorded before the crash-safety layer carry none
+        // of the resume keys; they must decode as a fresh,
+        // non-resumable run rather than be rejected.
+        let mut v = sample().to_json();
+        for key in [
+            "resumable",
+            "resumed_from_cells",
+            "journal_records",
+            "cells_timed_out",
+        ] {
+            v.remove(key);
+        }
+        let back = Manifest::from_json(&v).expect("old manifests still decode");
+        assert!(!back.resumable);
+        assert_eq!(back.resumed_from_cells, 0);
+        assert_eq!(back.journal_records, 0);
+        assert_eq!(back.cells_timed_out, 0);
     }
 
     #[test]

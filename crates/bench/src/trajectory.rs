@@ -56,21 +56,13 @@ pub fn history_entry(m: &Manifest, bench: &Value) -> Value {
 }
 
 /// Append `entry` as one compact line to the JSONL file at `path`,
-/// creating parent directories and the file itself as needed.
+/// creating parent directories and the file itself as needed. Goes
+/// through pq-ckpt's `durable_append` (O_APPEND + fdatasync) so a
+/// crash right after `runall` finishes can't lose or tear the line.
 pub fn append_history(path: &str, entry: &Value) -> std::io::Result<()> {
-    use std::io::Write as _;
-    if let Some(parent) = std::path::Path::new(path).parent() {
-        if !parent.as_os_str().is_empty() {
-            std::fs::create_dir_all(parent)?;
-        }
-    }
-    let mut f = std::fs::OpenOptions::new()
-        .create(true)
-        .append(true)
-        .open(path)?;
     // `Value`'s Display is the compact one-line form — exactly one
     // history entry per line.
-    writeln!(f, "{entry}")
+    pq_ckpt::durable_append(path, &entry.to_string())
 }
 
 /// One compared quantity in a [`DiffReport`].
@@ -326,6 +318,10 @@ mod tests {
             faults_injected: 0,
             runs_retried: 0,
             cells_quarantined: vec![],
+            resumable: false,
+            resumed_from_cells: 0,
+            journal_records: 0,
+            cells_timed_out: 0,
             lint_baseline_count: 0,
             alloc: None,
             edge: None,

@@ -1,0 +1,108 @@
+//! Kill-resume end-to-end: SIGKILL `runall` mid-sweep, resume with
+//! `PQ_RESUME=1`, and require a `study_digest` bit-identical to an
+//! uninterrupted run — across different `PQ_JOBS` worker counts.
+//!
+//! This is the acceptance test of the crash-safety layer: the child
+//! process is killed without any chance to clean up (SIGKILL, not
+//! SIGTERM), so everything the resumed run recovers comes from the
+//! write-ahead cell journal alone.
+
+#![cfg(unix)]
+
+use pq_bench::manifest::Manifest;
+use pq_obs::json::Value;
+use std::path::Path;
+use std::process::{Command, Stdio};
+
+/// Run `runall` to completion in `dir` and return its parsed manifest.
+fn run_to_completion(dir: &Path, jobs: &str, resume: bool) -> Manifest {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_runall"));
+    cmd.current_dir(dir)
+        .env("PQ_SCALE", "smoke")
+        .env("PQ_SEED", "1910")
+        .env("PQ_JOBS", jobs)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null());
+    if resume {
+        cmd.env("PQ_RESUME", "1");
+    }
+    let status = cmd.status().expect("spawn runall");
+    assert!(status.success(), "runall failed in {}", dir.display());
+    let text = std::fs::read_to_string(dir.join("results/manifest.json")).expect("manifest");
+    Manifest::from_json(&Value::parse(&text).expect("manifest JSON")).expect("manifest decodes")
+}
+
+/// Count intact journal records (complete lines) in `dir`.
+fn journal_lines(dir: &Path) -> usize {
+    std::fs::read_to_string(dir.join("results/journal.jsonl"))
+        .map(|s| s.lines().count())
+        .unwrap_or(0)
+}
+
+#[test]
+fn sigkill_mid_sweep_then_resume_is_bit_identical() {
+    let base = std::env::temp_dir().join(format!("pq-kill-resume-{}", std::process::id()));
+    std::fs::remove_dir_all(&base).ok();
+    let clean_dir = base.join("clean");
+    let killed_dir = base.join("killed");
+    std::fs::create_dir_all(&clean_dir).unwrap();
+    std::fs::create_dir_all(&killed_dir).unwrap();
+
+    // Uninterrupted baseline at 4 workers.
+    let clean = run_to_completion(&clean_dir, "4", false);
+    assert_eq!(clean.resumed_from_cells, 0);
+    assert!(!clean.resumable);
+    assert!(
+        !clean_dir.join("results/journal.jsonl").exists(),
+        "journal must be retired after a completed run"
+    );
+
+    // Interrupted run at 1 worker: SIGKILL as soon as a few cells are
+    // durable — no destructors, no signal handler, nothing but the
+    // journal survives.
+    let mut child = Command::new(env!("CARGO_BIN_EXE_runall"))
+        .current_dir(&killed_dir)
+        .env("PQ_SCALE", "smoke")
+        .env("PQ_SEED", "1910")
+        .env("PQ_JOBS", "1")
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn runall");
+    let mut polls = 0;
+    while journal_lines(&killed_dir) < 4 {
+        polls += 1;
+        assert!(polls < 6000, "journal never grew; is checkpointing wired?");
+        if let Some(status) = child.try_wait().expect("try_wait") {
+            panic!("runall finished before it could be killed: {status}");
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    child.kill().expect("SIGKILL runall");
+    child.wait().expect("reap runall");
+    let after_kill = journal_lines(&killed_dir);
+    assert!(
+        killed_dir.join("results/journal.jsonl").exists(),
+        "journal must survive a SIGKILL"
+    );
+
+    // Resume at 4 workers: completed cells replayed, the rest rebuilt,
+    // output digest bit-identical to the uninterrupted baseline.
+    let resumed = run_to_completion(&killed_dir, "4", true);
+    assert_eq!(
+        resumed.study_digest, clean.study_digest,
+        "resumed digest diverged from the uninterrupted baseline"
+    );
+    assert!(
+        resumed.resumed_from_cells > 0,
+        "nothing was resumed (journal had {after_kill} lines at kill time)"
+    );
+    assert!(!resumed.resumable);
+    assert!(resumed.journal_records > 0);
+    assert!(
+        !killed_dir.join("results/journal.jsonl").exists(),
+        "journal must be retired after the resumed run completes"
+    );
+
+    std::fs::remove_dir_all(&base).ok();
+}

@@ -72,6 +72,10 @@ pub struct StimulusSet {
     quarantined: Vec<QuarantinedCell>,
     /// Invalid page loads that were discarded and re-run.
     runs_retried: u64,
+    /// Cells restored from a write-ahead journal instead of rebuilt.
+    resumed_cells: u64,
+    /// Cells quarantined by the `PQ_CELL_TIMEOUT_MS` watchdog.
+    cells_timed_out: u64,
 }
 
 /// The page-load seed of one `(study seed, site, network, protocol,
@@ -102,6 +106,84 @@ type CellOk = (Stimulus, u64);
 type CellErr = (String, u32);
 /// Outcome of building a single grid cell.
 type CellResult = Result<CellOk, CellErr>;
+
+/// Quarantine-reason marker for a cell abandoned because the process
+/// received SIGINT/SIGTERM. Such cells are *dropped*, not quarantined:
+/// the interrupted run journals nothing for them, and the resumed run
+/// rebuilds them from scratch.
+const INTERRUPTED_REASON: &str = "interrupted by signal";
+
+/// Quarantine-reason prefix of a cell killed by the
+/// `PQ_CELL_TIMEOUT_MS` watchdog; the manifest counts these as
+/// `cells_timed_out`.
+const DEADLINE_REASON: &str = "deadline exceeded";
+
+/// Encode one completed cell as a write-ahead journal record. Floats
+/// travel as 64-bit hex bit patterns, so a replayed cell is
+/// bit-identical to the one that was built.
+fn cell_record(key: &str, stim: &Stimulus, retried: u64) -> pq_ckpt::Record {
+    use pq_ckpt::{f64_to_hex, u64_to_hex};
+    let m = &stim.metrics;
+    pq_ckpt::Record::new(
+        "cell",
+        key,
+        [
+            ("fvc".to_string(), f64_to_hex(m.fvc_ms)),
+            ("lvc".to_string(), f64_to_hex(m.lvc_ms)),
+            ("si".to_string(), f64_to_hex(m.si_ms)),
+            ("vc85".to_string(), f64_to_hex(m.vc85_ms)),
+            ("plt".to_string(), f64_to_hex(m.plt_ms)),
+            ("mean_plt".to_string(), f64_to_hex(stim.mean_plt_ms)),
+            ("mean_retx".to_string(), f64_to_hex(stim.mean_retransmits)),
+            ("video_secs".to_string(), f64_to_hex(stim.video_secs)),
+            ("runs".to_string(), u64_to_hex(u64::from(stim.runs))),
+            ("retried".to_string(), u64_to_hex(retried)),
+        ],
+    )
+}
+
+/// Decode a journalled cell back into a build outcome. `None` when a
+/// field is missing or malformed — the caller falls back to rebuilding
+/// the cell, so a bad record costs time, never correctness.
+fn cell_from_record(rec: &pq_ckpt::Record, cond: &Condition) -> Option<CellOk> {
+    use pq_ckpt::{f64_from_hex, u64_from_hex};
+    let f = |k: &str| rec.get(k).and_then(f64_from_hex);
+    let u = |k: &str| rec.get(k).and_then(u64_from_hex);
+    let metrics = MetricSet {
+        fvc_ms: f("fvc")?,
+        lvc_ms: f("lvc")?,
+        si_ms: f("si")?,
+        vc85_ms: f("vc85")?,
+        plt_ms: f("plt")?,
+    };
+    Some((
+        Stimulus {
+            condition: *cond,
+            metrics,
+            mean_plt_ms: f("mean_plt")?,
+            runs: u32::try_from(u("runs")?).ok()?,
+            mean_retransmits: f("mean_retx")?,
+            video_secs: f("video_secs")?,
+        },
+        u("retried")?,
+    ))
+}
+
+/// Encode one quarantined cell so a resumed run skips it without
+/// re-burning its attempt budget.
+fn quarantine_record(key: &str, reason: &str, attempts: u32) -> pq_ckpt::Record {
+    pq_ckpt::Record::new(
+        "quarantine",
+        key,
+        [
+            ("reason".to_string(), reason.to_string()),
+            (
+                "attempts".to_string(),
+                pq_ckpt::u64_to_hex(u64::from(attempts)),
+            ),
+        ],
+    )
+}
 
 impl StimulusSet {
     /// Build stimuli for every combination, loading each condition
@@ -196,6 +278,24 @@ impl StimulusSet {
             let max_budget = runs.saturating_mul(MAX_BUDGET_FACTOR);
             loop {
                 while attempt < budget && (all.len() as u32) < runs {
+                    // Cancellation points: a cell over its wall-clock
+                    // budget is quarantined instead of hanging the
+                    // sweep; an interrupted cell is abandoned so the
+                    // process can checkpoint and exit.
+                    if pq_ckpt::interrupted() {
+                        return Err((INTERRUPTED_REASON.to_string(), attempt));
+                    }
+                    if let Some(elapsed) = pq_par::cell_deadline_exceeded() {
+                        return Err((
+                            format!(
+                                "{DEADLINE_REASON} after {elapsed} ms \
+                                 (budget {} ms, {} valid of {runs} runs)",
+                                pq_par::cell_timeout_ms().unwrap_or(0),
+                                all.len(),
+                            ),
+                            attempt,
+                        ));
+                    }
                     let rs = run_seed(seed, &site.name, cond.network, cond.protocol, attempt);
                     let res = load_page(site, &net, cond.protocol, rs, &opts);
                     // Validity filtering only engages under an active
@@ -244,15 +344,70 @@ impl StimulusSet {
         // only themselves and are retried on the next pass; cells
         // still panicking after MAX_PANIC_PASSES are quarantined.
         let mut outcomes: Vec<Option<CellResult>> = (0..cells.len()).map(|_| None).collect();
-        let mut pending: Vec<usize> = (0..cells.len()).collect();
+
+        // Resume: cells replayed from an earlier (interrupted) run's
+        // write-ahead journal are restored verbatim — bit-identical
+        // metrics, same retry accounting — and never re-executed. A
+        // record that fails to decode falls back to a rebuild.
+        let mut resumed_cells = 0u64;
+        if pq_ckpt::journal_active() {
+            for (slot, cond) in outcomes.iter_mut().zip(&cells) {
+                let key = label(cond);
+                if let Some(rec) = pq_ckpt::replayed("cell", &key) {
+                    if let Some(ok) = cell_from_record(&rec, cond) {
+                        *slot = Some(Ok(ok));
+                        resumed_cells += 1;
+                    } else {
+                        pq_obs::tracer().warn(
+                            "ckpt",
+                            format!("journalled cell {key} failed to decode; rebuilding"),
+                        );
+                    }
+                } else if let Some(rec) = pq_ckpt::replayed("quarantine", &key) {
+                    let reason = rec.get("reason").unwrap_or("unrecorded").to_string();
+                    let attempts = rec
+                        .get("attempts")
+                        .and_then(pq_ckpt::u64_from_hex)
+                        .and_then(|v| u32::try_from(v).ok())
+                        .unwrap_or(0);
+                    *slot = Some(Err((reason, attempts)));
+                    resumed_cells += 1;
+                }
+            }
+            if resumed_cells > 0 {
+                pq_obs::tracer().warn(
+                    "ckpt",
+                    format!(
+                        "resumed {resumed_cells} of {} grid cells from the journal",
+                        cells.len()
+                    ),
+                );
+            }
+        }
+
+        let mut pending: Vec<usize> = outcomes
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| o.is_none())
+            .map(|(i, _)| i)
+            .collect();
         let mut last_panic: BTreeMap<usize, String> = BTreeMap::new();
         for pass in 0..MAX_PANIC_PASSES {
-            if pending.is_empty() {
+            if pending.is_empty() || pq_ckpt::interrupted() {
                 break;
             }
             let outs = pq_par::try_par_map(&pending, |&i| {
                 let cond = &cells[i];
+                if pq_ckpt::interrupted() {
+                    return Err((INTERRUPTED_REASON.to_string(), 0));
+                }
                 if let Some(p) = &plan {
+                    // Deliberate wall-clock delay (outside the
+                    // simulator): exercises the watchdog without
+                    // touching simulated time or the digest.
+                    if let Some(ms) = pq_fault::injected_slow(p, &label(cond)) {
+                        std::thread::sleep(std::time::Duration::from_millis(ms));
+                    }
                     if pq_fault::injected_panic(p, &label(cond), pass) {
                         // pq-lint: allow(panic) -- the injected panic IS the fault under test; try_par_map catches it and the pass loop retries/quarantines
                         panic!(
@@ -262,7 +417,21 @@ impl StimulusSet {
                         );
                     }
                 }
-                build_cell(cond)
+                let res = build_cell(cond);
+                // Write-ahead checkpoint: a completed cell is durable
+                // before its result is visible to the gather side, so
+                // a kill at any instant loses at most in-flight cells.
+                if let Ok((stim, retried)) = &res {
+                    if let Err(err) =
+                        pq_ckpt::journal_append(&cell_record(&label(cond), stim, *retried))
+                    {
+                        pq_obs::tracer().warn(
+                            "ckpt",
+                            format!("journal append failed for {}: {err}", label(cond)),
+                        );
+                    }
+                }
+                res
             });
             let mut next = Vec::new();
             for (&i, out) in pending.iter().zip(outs) {
@@ -290,6 +459,7 @@ impl StimulusSet {
         let mut map = BTreeMap::new();
         let mut quarantined = Vec::new();
         let mut runs_retried = 0u64;
+        let mut cells_timed_out = 0u64;
         for (i, cond) in cells.iter().enumerate() {
             let outcome = outcomes[i].take();
             let (reason, attempts) = match outcome {
@@ -299,11 +469,21 @@ impl StimulusSet {
                     continue;
                 }
                 Some(Err((reason, attempts))) => {
+                    // An interrupted cell is dropped, not quarantined:
+                    // nothing is journalled for it and the resumed run
+                    // rebuilds it from scratch.
+                    if reason == INTERRUPTED_REASON {
+                        continue;
+                    }
                     // Every attempt of a quarantined cell was a
                     // discarded re-run; count them too.
                     runs_retried += u64::from(attempts);
                     (reason, attempts)
                 }
+                // No outcome after an interrupt means the cell never
+                // got to run (the pass loop bailed out); drop it for
+                // the resumed run rather than mislabel it as panicked.
+                None if pq_ckpt::interrupted() => continue,
                 None => (
                     format!(
                         "task panicked on {MAX_PANIC_PASSES} passes: {}",
@@ -312,6 +492,9 @@ impl StimulusSet {
                     0,
                 ),
             };
+            if reason.starts_with(DEADLINE_REASON) {
+                cells_timed_out += 1;
+            }
             let cell = QuarantinedCell {
                 site: sites[cond.site as usize].name.clone(),
                 network: cond.network.name().to_string(),
@@ -319,6 +502,20 @@ impl StimulusSet {
                 reason,
                 attempts,
             };
+            // Quarantine decisions are checkpointed too, so a resumed
+            // run skips the doomed cell instead of re-burning its
+            // whole attempt budget.
+            if let Err(err) =
+                pq_ckpt::journal_append(&quarantine_record(&label(cond), &cell.reason, attempts))
+            {
+                pq_obs::tracer().warn(
+                    "ckpt",
+                    format!(
+                        "journal append failed for quarantine {}: {err}",
+                        label(cond)
+                    ),
+                );
+            }
             pq_obs::tracer().warn(
                 "fault",
                 format!(
@@ -335,11 +532,19 @@ impl StimulusSet {
         if !quarantined.is_empty() {
             reg.counter_add("run.quarantined", quarantined.len() as u64);
         }
+        if resumed_cells > 0 {
+            reg.counter_add("run.resumed_cells", resumed_cells);
+        }
+        if cells_timed_out > 0 {
+            reg.counter_add("run.cells_timed_out", cells_timed_out);
+        }
         StimulusSet {
             site_names: sites.iter().map(|s| s.name.clone()).collect(),
             map,
             quarantined,
             runs_retried,
+            resumed_cells,
+            cells_timed_out,
         }
     }
 
@@ -362,6 +567,18 @@ impl StimulusSet {
     /// Invalid page loads discarded and re-run during the build.
     pub fn runs_retried(&self) -> u64 {
         self.runs_retried
+    }
+
+    /// Cells restored from the write-ahead journal (`PQ_RESUME=1`)
+    /// instead of being rebuilt.
+    pub fn resumed_cells(&self) -> u64 {
+        self.resumed_cells
+    }
+
+    /// Cells quarantined because they exceeded the
+    /// `PQ_CELL_TIMEOUT_MS` per-cell wall-clock budget.
+    pub fn cells_timed_out(&self) -> u64 {
+        self.cells_timed_out
     }
 
     /// Number of sites.

@@ -1,0 +1,60 @@
+//! The `slow` fault clause + `PQ_CELL_TIMEOUT_MS` watchdog: a cell
+//! held past its wall-clock budget is quarantined with a
+//! `deadline exceeded` reason and accounted as timed out — it never
+//! hangs the sweep.
+//!
+//! Own integration-test binary (own process): the timeout override is
+//! process-global and must not leak into other stimulus tests.
+
+use pq_fault::FaultPlan;
+use pq_sim::NetworkKind;
+use pq_study::stimulus::StimulusSet;
+use pq_transport::Protocol;
+use pq_web::catalogue;
+use std::sync::Arc;
+
+#[test]
+fn slow_cells_past_deadline_are_quarantined_not_hung() {
+    let sites = vec![catalogue::site("apache.org").unwrap()];
+    let nets = [NetworkKind::Dsl];
+    let protos = [Protocol::Tcp, Protocol::Quic];
+    // Every cell sleeps 400 ms against a 100 ms budget.
+    let plan = FaultPlan::parse("slow:p=1,ms=400").unwrap();
+
+    pq_par::set_cell_timeout_ms(Some(100));
+    let set = StimulusSet::build_with_faults(&sites, &nets, &protos, 2, 42, Some(Arc::new(plan)));
+    pq_par::set_cell_timeout_ms(None);
+
+    assert_eq!(set.iter().count(), 0, "no cell survives the deadline");
+    assert_eq!(set.quarantined().len(), 2);
+    assert_eq!(set.cells_timed_out(), 2);
+    for q in set.quarantined() {
+        assert!(
+            q.reason.starts_with("deadline exceeded"),
+            "unexpected reason: {}",
+            q.reason
+        );
+    }
+}
+
+#[test]
+fn slow_clause_without_watchdog_leaves_digest_inputs_untouched() {
+    let sites = vec![catalogue::site("apache.org").unwrap()];
+    let nets = [NetworkKind::Dsl];
+    let protos = [Protocol::Quic];
+
+    let clean = StimulusSet::build_with_faults(&sites, &nets, &protos, 2, 42, None);
+    // Delay injection alone (no deadline) slows the build down but
+    // must not change a single output bit.
+    let plan = FaultPlan::parse("slow:p=1,ms=50").unwrap();
+    let slowed =
+        StimulusSet::build_with_faults(&sites, &nets, &protos, 2, 42, Some(Arc::new(plan)));
+
+    assert_eq!(slowed.cells_timed_out(), 0);
+    assert_eq!(slowed.quarantined().len(), 0);
+    let a = clean.get(0, NetworkKind::Dsl, Protocol::Quic).unwrap();
+    let b = slowed.get(0, NetworkKind::Dsl, Protocol::Quic).unwrap();
+    assert_eq!(a.metrics.plt_ms.to_bits(), b.metrics.plt_ms.to_bits());
+    assert_eq!(a.metrics.si_ms.to_bits(), b.metrics.si_ms.to_bits());
+    assert_eq!(a.mean_plt_ms.to_bits(), b.mean_plt_ms.to_bits());
+}

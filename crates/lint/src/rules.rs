@@ -109,6 +109,13 @@ pub const RULES: &[RuleInfo] = &[
         what: "crate root missing #![forbid(unsafe_code)]",
     },
     RuleInfo {
+        name: "results-io",
+        family: Family::P,
+        what: "direct fs::write/File::create/OpenOptions in a file that writes under \
+               results/; go through pq_ckpt::{atomic_write, durable_append} so a crash \
+               can never leave a torn artefact",
+    },
+    RuleInfo {
         name: "env",
         family: Family::O,
         what: "raw std::env::var outside pq_obs::env (config must flow through the \
@@ -200,6 +207,7 @@ pub fn check_file(ctx: &FileContext<'_>) -> Vec<Finding> {
     rule_panic(ctx, &mut out);
     rule_index(ctx, &mut out);
     rule_unsafe(ctx, &mut out);
+    rule_results_io(ctx, &mut out);
     rule_env(ctx, &mut out);
     rule_metric_name(ctx, &mut out);
     rule_prof_name(ctx, &mut out);
@@ -468,6 +476,50 @@ fn rule_unsafe(ctx: &FileContext<'_>, out: &mut Vec<Finding>) {
                       100% safe Rust and stays that way"
                 .into(),
         });
+    }
+}
+
+/// P: direct filesystem writes in a non-test file that names a
+/// `results/` path. Everything under `results/` is a consumer-visible
+/// artefact: it must be written through pq-ckpt (`atomic_write` =
+/// temp + fsync + rename, `durable_append` = O_APPEND + fsync) so a
+/// crash mid-write can never leave a torn or half-updated file.
+/// pq-ckpt itself is the sanctioned implementation and is exempt.
+fn rule_results_io(ctx: &FileContext<'_>, out: &mut Vec<Finding>) {
+    if ctx.crate_name == Some("ckpt") {
+        return;
+    }
+    let toks = ctx.tokens;
+    let touches_results = toks
+        .iter()
+        .any(|t| t.kind == TokKind::Str && !ctx.in_test(t.line) && t.text.contains("results/"));
+    if !touches_results {
+        return;
+    }
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || ctx.in_test(t.line) {
+            continue;
+        }
+        let writer = if matches_at(toks, i, &["fs", ":", ":", "write"]) {
+            "fs::write"
+        } else if matches_at(toks, i, &["File", ":", ":", "create"]) {
+            "File::create"
+        } else if matches_at(toks, i, &["OpenOptions", ":", ":", "new"]) {
+            "OpenOptions::new"
+        } else {
+            continue;
+        };
+        push(
+            out,
+            "results-io",
+            t,
+            writer.to_string(),
+            format!(
+                "{writer} in a file that writes under results/; use \
+                 pq_ckpt::atomic_write (whole files) or pq_ckpt::durable_append \
+                 (journals/history) so readers never observe a torn artefact"
+            ),
+        );
     }
 }
 
@@ -749,6 +801,35 @@ mod tests {
         let (toks2, _) = lex("#![forbid(unsafe_code)] pub mod x;");
         let ctx2 = ctx_of(&toks2, "crates/sim/src/lib.rs", Some("sim"), true);
         assert!(check_file(&ctx2).is_empty());
+    }
+
+    #[test]
+    fn results_io_needs_both_a_results_path_and_a_raw_writer() {
+        // A raw writer next to a results/ path literal: flagged.
+        let bad = "fn w() { std::fs::write(\"results/manifest.json\", b\"x\").unwrap(); }";
+        assert!(rules_hit(bad, "crates/bench/src/x.rs", Some("bench")).contains(&"results-io"));
+        let bad2 = "fn w() { let f = File::create(\"results/a.json\"); }";
+        assert!(rules_hit(bad2, "crates/bench/src/x.rs", Some("bench")).contains(&"results-io"));
+        let bad3 = "fn w() { OpenOptions::new().append(true).open(\"results/h.jsonl\").unwrap(); }";
+        assert!(rules_hit(bad3, "crates/bench/src/x.rs", Some("bench")).contains(&"results-io"));
+        // A raw writer with no results/ involvement: someone else's
+        // business (e.g. the lint baseline itself).
+        let ok = "fn w() { std::fs::write(\"pq-lint.baseline\", b\"x\").unwrap(); }";
+        assert!(!rules_hit(ok, "crates/lint/src/x.rs", Some("lint")).contains(&"results-io"));
+        // A results/ path going through the sanctioned API: fine.
+        let ok2 = "fn w() { pq_ckpt::atomic_write(\"results/manifest.json\", b\"x\").unwrap(); }";
+        assert!(!rules_hit(ok2, "crates/bench/src/x.rs", Some("bench")).contains(&"results-io"));
+        // pq-ckpt itself implements the sanctioned writers.
+        let imp = "fn w(p: &Path) { let f = File::create(p); } const D: &str = \"results/\";";
+        assert!(
+            !rules_hit(imp, "crates/ckpt/src/atomicio.rs", Some("ckpt")).contains(&"results-io")
+        );
+        // Test code is exempt.
+        let test_only = "fn main() {}\n#[cfg(test)]\nmod tests { fn w() { \
+                         std::fs::write(\"results/x\", b\"x\").unwrap(); } }";
+        assert!(
+            !rules_hit(test_only, "crates/bench/src/x.rs", Some("bench")).contains(&"results-io")
+        );
     }
 
     #[test]

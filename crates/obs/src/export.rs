@@ -11,7 +11,6 @@
 use crate::json::{write_escaped, write_num, Value};
 use crate::trace::{tracer, ArgValue, Event, EventKind};
 use std::fmt::Write as _;
-use std::io::Write as _;
 use std::path::Path;
 
 fn args_json(args: &[(&'static str, ArgValue)]) -> Value {
@@ -171,13 +170,7 @@ pub fn export(path: &Path) -> std::io::Result<usize> {
     } else {
         to_chrome_trace(&events)
     };
-    if let Some(parent) = path.parent() {
-        if !parent.as_os_str().is_empty() {
-            std::fs::create_dir_all(parent)?;
-        }
-    }
-    let mut f = std::fs::File::create(path)?;
-    f.write_all(body.as_bytes())?;
+    pq_ckpt::atomic_write(path, body.as_bytes())?;
     Ok(events.len())
 }
 

@@ -93,12 +93,7 @@ pub fn flush_to_env() -> Option<PathBuf> {
     if let Some(svg_out) = crate::env::var("PQ_PROF_SVG") {
         let svg = pq_prof::svg::render(&pq_prof::folded());
         let path = PathBuf::from(svg_out);
-        if let Some(dir) = path.parent() {
-            if !dir.as_os_str().is_empty() {
-                std::fs::create_dir_all(dir).ok();
-            }
-        }
-        match std::fs::write(&path, svg) {
+        match pq_ckpt::atomic_write(&path, svg.as_bytes()) {
             Ok(()) if written.is_none() => written = Some(path),
             Ok(()) => {}
             Err(e) => crate::trace::tracer()

@@ -17,6 +17,12 @@
 //!   values warn through the `pq-obs` tracer (once) instead of being
 //!   silently swallowed. [`set_jobs`] overrides it programmatically
 //!   (tests sweep `1 / 2 / 8` workers in-process this way).
+//! * [`cell_deadline_exceeded`] — the per-cell wall-clock watchdog
+//!   (`PQ_CELL_TIMEOUT_MS`): the pool stamps every task's start time,
+//!   long-running cells poll the deadline at their cancellation points
+//!   and get quarantined instead of hanging the sweep, and a watchdog
+//!   thread warns (via pq-ckpt's sink) about workers stuck past
+//!   budget. Off by default; wall-clock never feeds simulated data.
 //!
 //! ## The determinism contract
 //!
@@ -52,7 +58,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod deadline;
 mod pool;
+
+pub use deadline::{cell_deadline_exceeded, cell_timeout_ms, set_cell_timeout_ms};
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Once;

@@ -33,7 +33,7 @@ use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use pq_obs::{ArgValue, Level};
 
@@ -104,6 +104,10 @@ struct Shared<R> {
     tasks: AtomicU64,
     /// Chunks obtained by stealing from a sibling's deque.
     steals: AtomicU64,
+    /// Watchdog state, present only when a cell deadline is
+    /// configured: a batch epoch and one heartbeat slot per worker
+    /// (0 = idle, else ms-since-epoch of the current task's start +1).
+    watchdog: Option<(Instant, Vec<AtomicU64>)>,
 }
 
 impl<R> Shared<R> {
@@ -122,6 +126,11 @@ impl<R> Shared<R> {
                 injector.push_back(c);
             }
         }
+        let watchdog = crate::deadline::cell_timeout_ms().map(|_| {
+            // pq-lint: allow(time) -- watchdog heartbeat epoch; only armed when PQ_CELL_TIMEOUT_MS is set and never feeds simulated data
+            let epoch = Instant::now();
+            (epoch, (0..workers).map(|_| AtomicU64::new(0)).collect())
+        });
         Shared {
             injector: Mutex::new(injector),
             bell: Condvar::new(),
@@ -132,7 +141,26 @@ impl<R> Shared<R> {
             results: Mutex::new(Vec::with_capacity(pending)),
             tasks: AtomicU64::new(0),
             steals: AtomicU64::new(0),
+            watchdog,
         }
+    }
+
+    /// Record worker `who`'s heartbeat: `Some(ms)` marks a task begun
+    /// that many ms after the epoch, `None` marks the worker idle.
+    fn beat(&self, who: usize, at_ms: Option<u64>) {
+        if let Some((_, slots)) = &self.watchdog {
+            if let Some(slot) = slots.get(who) {
+                slot.store(at_ms.map_or(0, |ms| ms + 1), Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Milliseconds since the watchdog epoch (0 when the watchdog is
+    /// off).
+    fn epoch_ms(&self) -> u64 {
+        self.watchdog
+            .as_ref()
+            .map_or(0, |(epoch, _)| epoch.elapsed().as_millis() as u64)
     }
 
     /// Next chunk for `who`: own deque (LIFO) → injector (FIFO) →
@@ -226,10 +254,13 @@ fn worker_loop<T, R>(
                         let slice = &items[chunk.start..chunk.end];
                         let mut out = Vec::with_capacity(chunk.len());
                         for (i, item) in (chunk.start..chunk.end).zip(slice) {
+                            crate::deadline::task_started();
+                            shared.beat(id, Some(shared.epoch_ms()));
                             out.push(f(i, item));
                         }
                         out
                     }));
+                    shared.beat(id, None);
                     match run {
                         Ok(out) => {
                             local_tasks += out.len() as u64;
@@ -315,6 +346,49 @@ fn worker_loop<T, R>(
     }
 }
 
+/// Supervision thread for one batch, spawned only when a cell
+/// deadline is configured: polls every worker's heartbeat and reports
+/// (once per stall, through pq-ckpt's warn sink + the
+/// `par.watchdog_stalls` counter) any worker whose *current* task has
+/// overrun the budget. Enforcement stays cooperative — the overrunning
+/// cell quarantines itself at its next `cell_deadline_exceeded` check —
+/// so the watchdog's job is visibility, not preemption.
+fn watchdog_loop<R>(shared: &Shared<R>, timeout_ms: u64) {
+    let quantum = Duration::from_millis((timeout_ms / 4).clamp(5, 200));
+    let workers = shared.deques.len();
+    let mut warned = vec![false; workers];
+    loop {
+        if shared.pending.load(Ordering::Acquire) == 0 || shared.abort.load(Ordering::Acquire) {
+            return;
+        }
+        std::thread::sleep(quantum);
+        let Some((_, slots)) = &shared.watchdog else {
+            return;
+        };
+        let now = shared.epoch_ms();
+        for (who, slot) in slots.iter().enumerate() {
+            let beat = slot.load(Ordering::Relaxed);
+            let Some(flag) = warned.get_mut(who) else {
+                continue;
+            };
+            if beat == 0 {
+                *flag = false;
+                continue;
+            }
+            let elapsed = now.saturating_sub(beat - 1);
+            if elapsed > timeout_ms && !*flag {
+                *flag = true;
+                pq_ckpt::warn(&format!(
+                    "watchdog: pq-par worker {who} has spent {elapsed} ms on one cell \
+                     (budget {timeout_ms} ms); the cell will be quarantined at its next \
+                     cancellation point"
+                ));
+                pq_obs::registry().counter_add("par.watchdog_stalls", 1);
+            }
+        }
+    }
+}
+
 /// Run `f` over `items[0..n]` on `workers` threads, returning outputs
 /// in item order. The serial fast path (`workers <= 1` or `n <= 1`)
 /// runs on the calling thread with zero scheduling overhead — and is
@@ -331,7 +405,16 @@ where
     let n = items.len();
     let workers = workers.clamp(1, n.max(1));
     if workers <= 1 || n <= 1 {
-        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        // The serial reference path still stamps task starts so the
+        // per-cell deadline applies identically at PQ_JOBS=1.
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, t)| {
+                crate::deadline::task_started();
+                f(i, t)
+            })
+            .collect();
     }
 
     let shared: Shared<R> = Shared::new(workers, chunks_for(n, workers));
@@ -349,6 +432,13 @@ where
                     worker_loop(id, shared, items, fref, prof_root)
                 })
                 .expect("spawn pq-par worker");
+        }
+        if let Some(timeout_ms) = crate::deadline::cell_timeout_ms() {
+            let shared = &shared;
+            std::thread::Builder::new()
+                .name("pq-par-watchdog".to_string())
+                .spawn_scoped(scope, move || watchdog_loop(shared, timeout_ms))
+                .expect("spawn pq-par watchdog");
         }
     });
 

@@ -16,7 +16,7 @@
 
 use std::cell::RefCell;
 use std::collections::BTreeMap;
-use std::io::{self, Write as _};
+use std::io;
 use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
 use std::sync::Mutex;
 use std::time::Instant;
@@ -204,20 +204,19 @@ pub fn folded() -> Vec<(String, u64, u64)> {
 }
 
 /// Write the folded profile to `path` in collapsed-stack text form
-/// (`span;path self_nanoseconds` per line, sorted). Creates parent
-/// directories. Returns the number of lines written.
+/// (`span;path self_nanoseconds` per line, sorted), atomically via
+/// pq-ckpt so a crash mid-export never leaves a torn profile. Creates
+/// parent directories. Returns the number of lines written.
 pub fn write_folded(path: &std::path::Path) -> io::Result<usize> {
-    if let Some(dir) = path.parent() {
-        if !dir.as_os_str().is_empty() {
-            std::fs::create_dir_all(dir)?;
-        }
-    }
     let rows = folded();
-    let mut f = io::BufWriter::new(std::fs::File::create(path)?);
+    let mut body = String::with_capacity(rows.len() * 48);
     for (p, _, self_ns) in &rows {
-        writeln!(f, "{p} {self_ns}")?;
+        body.push_str(p);
+        body.push(' ');
+        body.push_str(&self_ns.to_string());
+        body.push('\n');
     }
-    f.flush()?;
+    pq_ckpt::atomic_write(path, body.as_bytes())?;
     Ok(rows.len())
 }
 
