@@ -141,7 +141,7 @@ impl EdgePools {
         // value, then by index (fully deterministic).
         let loads: Vec<u32> = pool
             .iter()
-            .map(|r| r.conns.iter().map(|c| c.outstanding).sum())
+            .map(|r| r.conns.iter().map(|c| c.outstanding).sum::<u32>())
             .collect();
         let tiebreaks: Vec<u64> = (0..loads.len() as u32)
             .map(|r| self.tiebreak(origin, r))

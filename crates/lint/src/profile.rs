@@ -1,0 +1,130 @@
+//! Collapsed-stack profile ingestion for `pq-lint --profile`.
+//!
+//! pq-prof writes folded lines of the form
+//!
+//! ```text
+//! experiment;load:QUIC;event:arrival 12488474
+//! ```
+//!
+//! — `;`-separated frame path, one space, self-time in nanoseconds.
+//! The linter aggregates *inclusive* time per frame name (a frame
+//! accrues every line it appears anywhere in) and uses it to rank
+//! hot-path findings: static analysis says *where* allocation sits,
+//! the profile says *how much the enclosing frames actually cost*.
+
+use std::collections::BTreeMap;
+
+/// Inclusive nanoseconds per frame name.
+#[derive(Debug, Default)]
+pub struct Profile {
+    /// Frame name → inclusive self-time sum over every folded line
+    /// the frame appears in.
+    pub frame_nanos: BTreeMap<String, u64>,
+    /// Total self-time across all lines.
+    pub total_nanos: u64,
+}
+
+impl Profile {
+    /// Parse folded text. Unparsable lines are skipped — a profile is
+    /// advisory input, never a lint failure.
+    pub fn parse(text: &str) -> Profile {
+        let mut p = Profile::default();
+        for line in text.lines() {
+            let line = line.trim();
+            let Some((path, count)) = line.rsplit_once(' ') else {
+                continue;
+            };
+            let Ok(nanos) = count.parse::<u64>() else {
+                continue;
+            };
+            p.total_nanos += nanos;
+            let mut seen = std::collections::BTreeSet::new();
+            for frame in path.split(';') {
+                if frame.is_empty() || !seen.insert(frame) {
+                    continue;
+                }
+                *p.frame_nanos.entry(frame.to_string()).or_insert(0) += nanos;
+            }
+        }
+        p
+    }
+
+    /// Load a folded file from disk.
+    pub fn load(path: &std::path::Path) -> std::io::Result<Profile> {
+        Ok(Profile::parse(&std::fs::read_to_string(path)?))
+    }
+
+    /// Inclusive nanoseconds matched by one frame hint: exact frame
+    /// name, or — for dynamic-label prefixes like `link:` — the sum
+    /// over every frame extending it.
+    pub fn frame_weight(&self, hint: &str) -> u64 {
+        if let Some(&n) = self.frame_nanos.get(hint) {
+            return n;
+        }
+        self.frame_nanos
+            .iter()
+            .filter(|(name, _)| name.starts_with(hint))
+            .map(|(_, n)| *n)
+            .sum()
+    }
+
+    /// Weight of a finding given its candidate frames (most-specific
+    /// first): the first hint with measured time wins, so a function's
+    /// own span beats its root's whole-phase frame.
+    pub fn weight(&self, frames: &[String]) -> u64 {
+        frames
+            .iter()
+            .map(|f| self.frame_weight(f))
+            .find(|&w| w > 0)
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FOLDED: &str = "\
+experiment 2780861584
+experiment;load:QUIC 900000000
+experiment;load:QUIC;event:arrival 12488474
+experiment;load:H2;event:arrival 5000000
+ablation;link:uplink 7000
+ablation;link:downlink 3000
+garbage line without count x
+";
+
+    #[test]
+    fn inclusive_aggregation() {
+        let p = Profile::parse(FOLDED);
+        assert_eq!(
+            p.frame_nanos["experiment"],
+            2780861584 + 900000000 + 12488474 + 5000000
+        );
+        assert_eq!(p.frame_nanos["event:arrival"], 12488474 + 5000000);
+        assert_eq!(p.frame_nanos["load:QUIC"], 900000000 + 12488474);
+    }
+
+    #[test]
+    fn prefix_hints_sum_dynamic_labels() {
+        let p = Profile::parse(FOLDED);
+        assert_eq!(p.frame_weight("link:"), 10000);
+        assert_eq!(p.frame_weight("link:uplink"), 7000);
+        assert_eq!(p.frame_weight("nothing:"), 0);
+    }
+
+    #[test]
+    fn most_specific_frame_wins() {
+        let p = Profile::parse(FOLDED);
+        let w = p.weight(&["event:arrival".into(), "experiment".into()]);
+        assert_eq!(w, 12488474 + 5000000);
+        let fallback = p.weight(&["event:unmeasured".into(), "experiment".into()]);
+        assert_eq!(fallback, p.frame_nanos["experiment"]);
+    }
+
+    #[test]
+    fn recursion_counts_once_per_line() {
+        let p = Profile::parse("a;b;a 10");
+        assert_eq!(p.frame_nanos["a"], 10);
+    }
+}

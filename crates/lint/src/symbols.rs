@@ -1,0 +1,269 @@
+//! Workspace symbol table: every function definition across the
+//! linted file set, plus the cross-file facts the semantic rule
+//! families consume — hash-container aliases, hash-returning
+//! signatures, and the declared name registries (`KNOWN_VARS`,
+//! `METRIC_NAMES`, `SPAN_NAMES`) parsed straight out of the linted
+//! source so fixtures and the real workspace use one mechanism.
+
+use crate::ast::FileAst;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Where the A-family reads its environment-variable registry from.
+pub const ENV_REGISTRY_FILE: &str = "crates/obs/src/env.rs";
+
+/// Where the A-family reads its metric/span name registries from.
+pub const NAME_REGISTRY_FILE: &str = "crates/obs/src/names.rs";
+
+/// One file's contribution to the workspace.
+#[derive(Clone, Debug)]
+pub struct FileEntry {
+    /// Workspace-relative path with `/` separators.
+    pub rel_path: String,
+    /// `crates/<name>/…` → `Some(name)`.
+    pub crate_name: Option<String>,
+    /// Parsed structure.
+    pub ast: FileAst,
+    /// Whole file is test context.
+    pub is_test: bool,
+    /// Line of the first `#[cfg(test)]`.
+    pub test_from_line: Option<u32>,
+}
+
+impl FileEntry {
+    fn in_test(&self, line: u32) -> bool {
+        self.is_test || self.test_from_line.is_some_and(|t| line >= t)
+    }
+}
+
+/// A cross-file alias of a hash container.
+#[derive(Clone, Debug)]
+pub struct HashAlias {
+    /// Workspace-relative path of the declaration.
+    pub decl_path: String,
+    /// Declaration line.
+    pub decl_line: u32,
+}
+
+/// One function symbol: `(file index, index into that file's
+/// `FileAst::fns`)`.
+#[derive(Clone, Copy, Debug)]
+pub struct FnSym {
+    /// Index into [`Workspace::files`].
+    pub file: usize,
+    /// Index into that file's `ast.fns`.
+    pub ast_idx: usize,
+}
+
+/// The cross-file view the semantic rules run against. Built once per
+/// lint run (pass 1), consumed by every file's pass-2 checks.
+#[derive(Debug, Default)]
+pub struct Workspace {
+    /// All parsed files, in walk order.
+    pub files: Vec<FileEntry>,
+    /// Non-test function symbols across the workspace.
+    pub fns: Vec<FnSym>,
+    /// Function name → symbol ids (for call resolution).
+    pub by_name: BTreeMap<String, Vec<usize>>,
+    /// `(file, ast_idx)` → symbol id.
+    pub fn_ids: BTreeMap<(usize, usize), usize>,
+    /// Alias name → declaration, for aliases of `HashMap`/`HashSet`.
+    pub hash_aliases: BTreeMap<String, HashAlias>,
+    /// Symbol ids of functions whose return type mentions a hash
+    /// container.
+    pub hash_returning: BTreeSet<usize>,
+    /// Declared environment variable names (`KNOWN_VARS` in
+    /// [`ENV_REGISTRY_FILE`]); empty set disables the `env-name` rule.
+    pub known_env_vars: BTreeSet<String>,
+    /// Declared metric names (`METRIC_NAMES` in
+    /// [`NAME_REGISTRY_FILE`]); empty disables that half of
+    /// `name-registry`.
+    pub metric_names: BTreeSet<String>,
+    /// Declared span/tick frame names (`SPAN_NAMES`); entries ending
+    /// in `:` are dynamic-label prefixes (`link:` covers `link:uplink`).
+    pub span_names: BTreeSet<String>,
+    /// Crate → path-dependency crates, parsed from `crates/*/Cargo.toml`
+    /// by the engine. Call resolution refuses cross-crate edges the
+    /// manifest graph cannot carry (a `.build()` in `pq-transport` can
+    /// never land in `pq-lint` — nothing depends on the linter). Empty
+    /// (single-file lints, fixtures without manifests) disables the
+    /// filter.
+    pub crate_deps: BTreeMap<String, BTreeSet<String>>,
+}
+
+impl Workspace {
+    /// Build the symbol table from parsed files. Test files and
+    /// functions inside `#[cfg(test)]` regions do not become symbols:
+    /// they neither emit nor receive call-graph edges.
+    pub fn build(files: Vec<FileEntry>) -> Workspace {
+        let mut ws = Workspace {
+            files,
+            ..Workspace::default()
+        };
+        for (fi, file) in ws.files.iter().enumerate() {
+            for (ai, f) in file.ast.fns.iter().enumerate() {
+                if file.in_test(f.line) {
+                    continue;
+                }
+                let id = ws.fns.len();
+                ws.fns.push(FnSym {
+                    file: fi,
+                    ast_idx: ai,
+                });
+                ws.by_name.entry(f.name.clone()).or_default().push(id);
+                ws.fn_ids.insert((fi, ai), id);
+                if f.ret.contains("HashMap") || f.ret.contains("HashSet") {
+                    ws.hash_returning.insert(id);
+                }
+            }
+            for a in &file.ast.aliases {
+                if a.aliases_hash {
+                    ws.hash_aliases
+                        .entry(a.name.clone())
+                        .or_insert_with(|| HashAlias {
+                            decl_path: file.rel_path.clone(),
+                            decl_line: a.line,
+                        });
+                }
+            }
+            for set in &file.ast.const_sets {
+                let dst = match (file.rel_path.as_str(), set.name.as_str()) {
+                    (ENV_REGISTRY_FILE, "KNOWN_VARS") => &mut ws.known_env_vars,
+                    (NAME_REGISTRY_FILE, "METRIC_NAMES") => &mut ws.metric_names,
+                    (NAME_REGISTRY_FILE, "SPAN_NAMES") => &mut ws.span_names,
+                    _ => continue,
+                };
+                dst.extend(set.values.iter().cloned());
+            }
+        }
+        ws
+    }
+
+    /// The `FnDef` behind a symbol id.
+    pub fn def(&self, id: usize) -> &crate::ast::FnDef {
+        let sym = &self.fns[id];
+        &self.files[sym.file].ast.fns[sym.ast_idx]
+    }
+
+    /// Workspace-relative path of a symbol's file.
+    pub fn path_of(&self, id: usize) -> &str {
+        &self.files[self.fns[id].file].rel_path
+    }
+
+    /// Crate of a symbol's file.
+    pub fn crate_of(&self, id: usize) -> Option<&str> {
+        self.files[self.fns[id].file].crate_name.as_deref()
+    }
+
+    /// Whether a call from crate `from` can reach a function defined
+    /// in crate `to` under the manifest dependency graph. Permissive
+    /// on missing information: no dep map at all, a caller or callee
+    /// outside `crates/`, or a crate without a parsed manifest all
+    /// allow the edge.
+    pub fn may_call(&self, from: Option<&str>, to: Option<&str>) -> bool {
+        if self.crate_deps.is_empty() {
+            return true;
+        }
+        let (Some(from), Some(to)) = (from, to) else {
+            return true;
+        };
+        if from == to {
+            return true;
+        }
+        match self.crate_deps.get(from) {
+            Some(deps) => deps.contains(to),
+            None => true,
+        }
+    }
+
+    /// A declared span name covers a literal (or format-literal
+    /// prefix) if it matches exactly, or if the declared entry is a
+    /// dynamic-label prefix (trailing `:`) that the literal extends.
+    pub fn span_name_ok(&self, lit: &str) -> bool {
+        self.span_names.contains(lit)
+            || self
+                .span_names
+                .iter()
+                .any(|d| d.ends_with(':') && lit.starts_with(d.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::parse;
+    use crate::lexer::lex;
+    use crate::rules::first_cfg_test_line;
+
+    fn entry(rel: &str, src: &str) -> FileEntry {
+        let (toks, _) = lex(src);
+        let test_from_line = first_cfg_test_line(&toks);
+        FileEntry {
+            rel_path: rel.to_string(),
+            crate_name: rel
+                .strip_prefix("crates/")
+                .and_then(|r| r.split('/').next())
+                .map(String::from),
+            ast: parse(&toks, &[]),
+            is_test: false,
+            test_from_line,
+        }
+    }
+
+    #[test]
+    fn symbols_skip_cfg_test_regions() {
+        let ws = Workspace::build(vec![entry(
+            "crates/core/src/x.rs",
+            "fn real() {}\n#[cfg(test)]\nmod tests { fn helper() {} }",
+        )]);
+        assert!(ws.by_name.contains_key("real"));
+        assert!(!ws.by_name.contains_key("helper"));
+    }
+
+    #[test]
+    fn hash_facts_cross_files() {
+        let ws = Workspace::build(vec![
+            entry(
+                "crates/stats/src/idx.rs",
+                "type FastMap = HashMap<u32, u32>;\n\
+                 pub fn make_index() -> HashMap<u32, u32> { HashMap::new() }\n\
+                 pub fn make_list() -> Vec<u32> { Vec::new() }",
+            ),
+            entry("crates/core/src/y.rs", "fn f() {}"),
+        ]);
+        assert!(ws.hash_aliases.contains_key("FastMap"));
+        let mk = ws.by_name["make_index"][0];
+        assert!(ws.hash_returning.contains(&mk));
+        let ml = ws.by_name["make_list"][0];
+        assert!(!ws.hash_returning.contains(&ml));
+    }
+
+    #[test]
+    fn registries_parse_from_declared_files() {
+        let ws = Workspace::build(vec![
+            entry(
+                ENV_REGISTRY_FILE,
+                "pub const KNOWN_VARS: &[&str] = &[\"PQ_SEED\", \"PQ_JOBS\"];",
+            ),
+            entry(
+                NAME_REGISTRY_FILE,
+                "pub const METRIC_NAMES: &[&str] = &[\"web.pageloads\"];\n\
+                 pub const SPAN_NAMES: &[&str] = &[\"event:arrival\", \"link:\"];",
+            ),
+        ]);
+        assert!(ws.known_env_vars.contains("PQ_SEED"));
+        assert!(ws.metric_names.contains("web.pageloads"));
+        assert!(ws.span_name_ok("event:arrival"));
+        assert!(ws.span_name_ok("link:uplink"));
+        assert!(ws.span_name_ok("link:"));
+        assert!(!ws.span_name_ok("event:unknown"));
+    }
+
+    #[test]
+    fn same_const_name_elsewhere_is_ignored() {
+        let ws = Workspace::build(vec![entry(
+            "crates/core/src/x.rs",
+            "pub const KNOWN_VARS: &[&str] = &[\"NOT_A_REGISTRY\"];",
+        )]);
+        assert!(ws.known_env_vars.is_empty());
+    }
+}

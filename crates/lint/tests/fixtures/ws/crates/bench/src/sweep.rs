@@ -1,0 +1,9 @@
+//! Fixture: the pq-par fan-out whose chunk placement makes the float
+//! accumulation order in `flows.rs` digest-relevant — the D2
+//! `float-flow` rule sees the cross-file edge the token-level
+//! `float-sum` rule cannot.
+
+pub fn sweep(cells: &[f64]) -> f64 {
+    let parts = pq_par::par_map(cells, |c| *c);
+    average(&parts) + average_ok(&parts)
+}

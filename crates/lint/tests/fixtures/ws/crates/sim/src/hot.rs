@@ -1,0 +1,25 @@
+//! Fixture: the H family — an annotated hot root whose loop allocates
+//! (`hot-loop-alloc`), a per-event callee allocating on every call
+//! (`hot-alloc`), and both shapes validly suppressed.
+
+// pq-lint: hot-root(experiment) -- fixture: the per-event dispatch loop
+pub fn run(n: u32) {
+    for i in 0..n {
+        let label = i.to_string();
+        // pq-lint: allow(hot-loop-alloc) -- fixture: cold error path only
+        let err = i.to_string();
+        dispatch(&label);
+        serve(&err);
+    }
+}
+
+fn dispatch(label: &str) {
+    let owned = label.to_string();
+    let _ = owned;
+}
+
+fn serve(err: &str) {
+    // pq-lint: allow(hot-alloc) -- fixture: behind the tracing enabled() gate
+    let tag = format!("warn:{err}");
+    let _ = tag;
+}

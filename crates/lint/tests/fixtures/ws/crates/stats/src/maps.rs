@@ -1,0 +1,16 @@
+//! Fixture: hash machinery in a non-digest crate — a container alias
+//! and a helper returning a hash map. The token-level `hash` rule is
+//! silent here; only the D2 `hash-flow` rule can see these leak into
+//! a digest crate.
+
+use std::collections::HashMap;
+
+pub type Counts = HashMap<u32, u32>;
+
+pub fn histogram(vals: &[u32]) -> HashMap<u32, u32> {
+    let mut m = HashMap::new();
+    for &v in vals {
+        *m.entry(v).or_insert(0) += 1;
+    }
+    m
+}

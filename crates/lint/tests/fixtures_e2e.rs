@@ -61,12 +61,72 @@ fn run_grandfathers_exactly_the_baseline() {
     let root = ws();
     let baseline = Baseline::load(&root.join("pq-lint.baseline")).expect("fixture baseline");
     let report = engine::run(&root, &baseline).expect("walk");
-    assert_eq!(report.files, 4);
-    assert_eq!(report.suppressed, 3);
+    assert_eq!(report.files, 11);
+    assert_eq!(
+        report.suppressed, 10,
+        "3 suppressed.rs + 3 flows.rs + 2 obs_names.rs + 2 hot.rs"
+    );
     assert_eq!(report.grandfathered, 2);
     assert!(report.stale.is_empty(), "{:?}", report.stale);
-    assert_eq!(report.new.len(), 13, "10 from lib.rs + 3 from env_read.rs");
+    assert_eq!(
+        report.new.len(),
+        22,
+        "11 lib.rs + 4 env_read.rs + 3 flows.rs + 2 obs_names.rs + 2 hot.rs:\n{:#?}",
+        report.new
+    );
     assert!(!report.clean());
+}
+
+#[test]
+fn semantic_families_fire_across_files() {
+    // The registries in crates/obs activate the A family; the hot-root
+    // in hot.rs drives H; the stats helper + bench fan-out drive D2.
+    let report = engine::run(&ws(), &Baseline::parse("").expect("empty")).expect("walk");
+    let hits = |r: &str| -> Vec<&str> {
+        report
+            .new
+            .iter()
+            .filter(|f| f.finding.rule == r)
+            .map(|f| f.path.as_str())
+            .collect()
+    };
+    assert_eq!(hits("hot-loop-alloc"), ["crates/sim/src/hot.rs"]);
+    assert_eq!(hits("hot-alloc"), ["crates/sim/src/hot.rs"]);
+    assert_eq!(
+        hits("hash-flow"),
+        ["crates/core/src/flows.rs"; 2],
+        "one alias use + one hash-returning helper call"
+    );
+    assert_eq!(hits("float-flow"), ["crates/core/src/flows.rs"]);
+    assert_eq!(hits("env-name"), ["crates/core/src/obs_names.rs"]);
+    assert_eq!(
+        hits("name-registry"),
+        [
+            "crates/core/src/lib.rs",
+            "crates/core/src/obs_names.rs",
+            "crates/par/src/env_read.rs",
+        ],
+        "every literal metric/span name must be declared once registries exist"
+    );
+    // H findings feed --profile ranking post-suppression: exactly the
+    // two unsuppressed hot.rs sites, carrying the root's frame hint.
+    assert_eq!(report.hot.len(), 2, "{:#?}", report.hot);
+    assert!(report
+        .hot
+        .iter()
+        .all(|f| f.finding.frames.contains(&"experiment".to_string())));
+}
+
+#[test]
+fn hot_fixture_fires_and_suppresses_single_file() {
+    // The H family works in single-file mode too: the annotated root,
+    // its loop-borne callees and the suppressions all resolve within
+    // hot.rs alone.
+    let src = fixture("crates/sim/src/hot.rs");
+    let (findings, suppressed) = lint_source("crates/sim/src/hot.rs", &src);
+    let rules: Vec<&str> = findings.iter().map(|f| f.rule).collect();
+    assert_eq!(rules, ["hot-loop-alloc", "hot-alloc"], "{findings:#?}");
+    assert_eq!(suppressed, 2, "one hot-loop-alloc + one hot-alloc allow");
 }
 
 #[test]
@@ -94,5 +154,5 @@ fn write_baseline_round_trips_to_clean() {
         report.new,
         report.stale
     );
-    assert_eq!(report.grandfathered, 15, "13 new + 2 previously baselined");
+    assert_eq!(report.grandfathered, 24, "22 new + 2 previously baselined");
 }

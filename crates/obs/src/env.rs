@@ -23,6 +23,40 @@ use std::collections::BTreeSet;
 use std::str::FromStr;
 use std::sync::Mutex;
 
+/// Every environment knob the workspace reads, sorted. `pq-lint`'s
+/// `env-name` rule parses this list straight out of the source and
+/// rejects reads of undeclared names — a typo'd knob (`PQ_SEEED=7`)
+/// then fails the lint instead of silently configuring nothing.
+/// Shim variables owned by the OS/toolchain (`HOME`, `CI`, …) are not
+/// listed; they go through [`var_os`] at sanctioned call sites.
+pub const KNOWN_VARS: &[&str] = &[
+    "CRITERION_SAMPLE_MS",
+    "PQ_BENCH_TOLERANCE",
+    "PQ_CELL_TIMEOUT_MS",
+    "PQ_EDGE_BB_MBPS",
+    "PQ_EDGE_IDLE_MS",
+    "PQ_EDGE_MBX_BUF_KB",
+    "PQ_EDGE_POOL",
+    "PQ_EDGE_REPLICAS",
+    "PQ_EDGE_RTT_SPLIT",
+    "PQ_FAULTS",
+    "PQ_FIXTURE",
+    "PQ_JOBS",
+    "PQ_JOURNAL",
+    "PQ_PROF",
+    "PQ_PROF_ALLOC",
+    "PQ_PROF_OUT",
+    "PQ_PROF_SVG",
+    "PQ_RESUME",
+    "PQ_SCALE",
+    "PQ_SEED",
+    "PQ_STACKS",
+    "PQ_TRACE",
+    "PQ_TRACE_BUF",
+    "PQ_TRACE_OUT",
+    "PROPTEST_CASES",
+];
+
 /// Variables whose unparsable values have already been warned about
 /// (one warning per variable per process, like the `PQ_JOBS` policy).
 static WARNED: Mutex<BTreeSet<String>> = Mutex::new(BTreeSet::new());

@@ -62,6 +62,7 @@ pub mod env;
 pub mod export;
 pub mod json;
 pub mod metrics;
+pub mod names;
 pub mod profile;
 pub mod timing;
 pub mod trace;

@@ -154,7 +154,7 @@ impl RangeSet {
 
     /// Total number of values covered.
     pub fn covered(&self) -> u64 {
-        self.ranges.iter().map(Range::len).sum()
+        self.ranges.iter().map(Range::len).sum::<u64>()
     }
 
     /// Number of disjoint ranges.

@@ -258,6 +258,10 @@ struct Loader<'a> {
     faults: Option<pq_fault::LoadFaults>,
     /// Edge topology state (`None` on the Table-1 stacks).
     edge: Option<EdgeState>,
+    /// Reused scratch for newly-released children: `discover` needs
+    /// `&mut self`, so the candidate list is staged here instead of a
+    /// fresh per-event `Vec` (the former top `hot-alloc` finding).
+    kid_buf: Vec<ObjectId>,
 }
 
 /// Load `site` over `net` with `protocol`; `seed` drives every source
@@ -315,7 +319,9 @@ pub fn load_page_with_config(
     let mut children: Vec<Vec<(f64, ObjectId)>> = vec![Vec::new(); n];
     for o in &site.objects {
         if let Some(parent) = o.discovered_by {
-            children[parent.0 as usize].push((o.discovery_at, o.id));
+            if let Some(row) = children.get_mut(parent.0 as usize) {
+                row.push((o.discovery_at, o.id));
+            }
         }
     }
     for c in &mut children {
@@ -444,6 +450,7 @@ pub fn load_page_with_config(
         req_at: vec![None; n],
         faults,
         edge,
+        kid_buf: Vec::new(),
     };
 
     let _load_span = pq_prof::span_dyn(|| format!("load:{}", protocol.label()));
@@ -480,10 +487,10 @@ impl<'a> Loader<'a> {
     /// its lazy-load deferral).
     fn discover(&mut self, now: SimTime, id: ObjectId) {
         let idx = id.0 as usize;
-        if self.discovered[idx] {
-            return;
+        match self.discovered.get_mut(idx) {
+            Some(seen @ false) => *seen = true,
+            _ => return, // already discovered
         }
-        self.discovered[idx] = true;
         let o = self.obj(id);
         // Parser stagger: children of the root document become visible
         // to the fetcher as the parser reaches them.
@@ -563,10 +570,12 @@ impl<'a> Loader<'a> {
                 pq_obs::tracer().instant(
                     Level::Info,
                     "fault",
+                    // pq-lint: allow(hot-alloc) -- fault-injection path behind the enabled() gate; never taken on clean runs
                     what.to_string(),
                     pid,
                     TID_PAGE,
                     now.as_nanos(),
+                    // pq-lint: allow(hot-alloc) -- fault-injection path behind the enabled() gate; never taken on clean runs
                     vec![("id", ArgValue::U64(detail))],
                 );
             }
@@ -1079,8 +1088,8 @@ impl<'a> Loader<'a> {
     /// span — and name the object's track row.
     fn obs_request(&mut self, now: SimTime, id: ObjectId) {
         let idx = id.0 as usize;
-        if self.req_at[idx].is_none() {
-            self.req_at[idx] = Some(now);
+        if let Some(slot @ None) = self.req_at.get_mut(idx) {
+            *slot = Some(now);
         }
         let Some(pid) = self.obs_pid else { return };
         if !pq_obs::enabled(Level::Info) {
@@ -1090,6 +1099,7 @@ impl<'a> Loader<'a> {
         pq_obs::tracer().name_track(
             pid,
             TID_OBJ_BASE + id.0,
+            // pq-lint: allow(hot-alloc) -- behind the enabled() early-return; tracing-off runs never get here
             &format!("obj {} ({:?})", id.0, o.kind),
         );
     }
@@ -1101,15 +1111,22 @@ impl<'a> Loader<'a> {
             return;
         }
         let o = self.obj(id);
-        let start = self.req_at[id.0 as usize].unwrap_or(now);
+        let start = self
+            .req_at
+            .get(id.0 as usize)
+            .copied()
+            .flatten()
+            .unwrap_or(now);
         pq_obs::tracer().span(
             Level::Info,
             "web",
+            // pq-lint: allow(hot-alloc) -- behind the enabled() early-return; tracing-off runs never get here
             format!("{:?} {}", o.kind, o.size),
             pid,
             TID_OBJ_BASE + id.0,
             start.as_nanos(),
             now.as_nanos(),
+            // pq-lint: allow(hot-alloc) -- behind the enabled() early-return; tracing-off runs never get here
             vec![
                 ("origin", ArgValue::U64(u64::from(o.origin.0))),
                 ("size", ArgValue::U64(o.size)),
@@ -1161,15 +1178,19 @@ impl<'a> Loader<'a> {
         // Progressive discovery of children referenced part-way
         // through the parent (`discovery_at = 1.0` waits for the
         // parent's processing instead).
-        let kids: Vec<ObjectId> = self.children[idx]
-            .iter()
-            .take_while(|(at, _)| *at < 1.0 && frac + 1e-12 >= *at)
-            .map(|&(_, c)| c)
-            .filter(|c| !self.discovered[c.0 as usize])
-            .collect();
-        for kid in kids {
+        let mut kids = std::mem::take(&mut self.kid_buf);
+        kids.extend(
+            self.children[idx]
+                .iter()
+                .take_while(|(at, _)| *at < 1.0 && frac + 1e-12 >= *at)
+                .map(|&(_, c)| c)
+                .filter(|c| !self.discovered[c.0 as usize]),
+        );
+        for &kid in &kids {
             self.discover(now, kid);
         }
+        kids.clear();
+        self.kid_buf = kids;
     }
 
     /// Parsing/decoding of a delivered object finished: the object is
@@ -1177,10 +1198,10 @@ impl<'a> Loader<'a> {
     /// children, and counts towards onload.
     fn object_processed(&mut self, now: SimTime, id: ObjectId) {
         let idx = id.0 as usize;
-        if self.done_at[idx].is_some() {
-            return;
+        match self.done_at.get_mut(idx) {
+            Some(slot @ None) => *slot = Some(now),
+            _ => return, // already processed
         }
-        self.done_at[idx] = Some(now);
         self.n_done += 1;
         if self.n_done == self.site.objects.len() {
             self.plt_at = Some(now);
@@ -1188,15 +1209,19 @@ impl<'a> Loader<'a> {
         self.trace.record(now, TraceKind::Response, u64::from(id.0));
         self.obs_object_span(now, id);
         self.update_render(now, id, 1.0, true);
-        let kids: Vec<ObjectId> = self.children[idx]
-            .iter()
-            .filter(|(at, _)| *at >= 1.0)
-            .map(|&(_, c)| c)
-            .filter(|c| !self.discovered[c.0 as usize])
-            .collect();
-        for kid in kids {
+        let mut kids = std::mem::take(&mut self.kid_buf);
+        kids.extend(
+            self.children[idx]
+                .iter()
+                .filter(|(at, _)| *at >= 1.0)
+                .map(|&(_, c)| c)
+                .filter(|c| !self.discovered[c.0 as usize]),
+        );
+        for &kid in &kids {
             self.discover(now, kid);
         }
+        kids.clear();
+        self.kid_buf = kids;
     }
 
     fn update_render(&mut self, now: SimTime, id: ObjectId, frac: f64, done: bool) {
@@ -1216,21 +1241,27 @@ impl<'a> Loader<'a> {
             0.0
         };
         // Incremental VC update.
-        let prev_contrib = self.contrib[id.0 as usize];
-        let delta = contrib - prev_contrib;
+        let Some(slot) = self.contrib.get_mut(id.0 as usize) else {
+            return;
+        };
+        let delta = contrib - *slot;
+        *slot = contrib;
         self.vc += delta;
-        self.contrib[id.0 as usize] = contrib;
 
         // First-paint gate: head parsed + render-blocking resources
         // processed, then one style+layout pass.
         if !self.gate_open && !self.gate_scheduled {
-            let head_parsed = self.frac[0] >= 0.15;
+            let head_parsed = self.frac.first().is_some_and(|&f| f >= 0.15);
             let blocking_done = self
                 .site
                 .objects
                 .iter()
                 .filter(|o| o.render_blocking)
-                .all(|o| self.done_at[o.id.0 as usize].is_some());
+                .all(|o| {
+                    self.done_at
+                        .get(o.id.0 as usize)
+                        .is_some_and(|d| d.is_some())
+                });
             if head_parsed && blocking_done {
                 self.gate_scheduled = true;
                 let layout =
@@ -1297,6 +1328,7 @@ impl<'a> Loader<'a> {
         mark("PLT", Some(plt), metrics.plt_ms);
     }
 
+    // pq-lint: hot-root(experiment) -- the per-event dispatch loop; every simulated packet, wake and layout event funnels through here
     fn run(mut self) -> PageLoadResult {
         let horizon = SimTime::ZERO + self.opts.horizon;
         let max_events = 200_000_000u64;
